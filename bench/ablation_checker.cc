@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation: the hardware-faithful hmov bounds check (one 32-bit
+ * comparator + sign/overflow bits, §4.2) versus the naive two-64-bit-
+ * comparator design the paper rejects for power/area reasons.
+ *
+ * Two views:
+ *  - a google-benchmark microbenchmark of the two checkers' *simulator*
+ *    throughput (they must be near-identical — the cheap check is not
+ *    allowed to cost model time); and
+ *  - the modeled hardware budget comparison from §4's component list.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/checker.h"
+
+namespace
+{
+
+using namespace hfi::core;
+
+HfiRegisterFile
+makeBank(bool large)
+{
+    HfiRegisterFile bank;
+    bank.enabled = true;
+    ExplicitDataRegion region;
+    region.baseAddress = large ? 0x7fff0000 : 0x12345;
+    region.bound = large ? (4ULL << 30) : (1ULL << 20);
+    region.permRead = true;
+    region.permWrite = true;
+    region.isLargeRegion = large;
+    bank.regions[kFirstExplicitRegion] = region;
+    return bank;
+}
+
+void
+BM_CheckHmovHardware(benchmark::State &state)
+{
+    const HfiRegisterFile bank = makeBank(state.range(0) != 0);
+    HmovOperands ops;
+    ops.scale = 8;
+    ops.width = 8;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        ops.index = static_cast<std::int64_t>(i++ & 0xffff);
+        benchmark::DoNotOptimize(
+            AccessChecker::checkHmov(bank, 0, ops, false));
+    }
+}
+BENCHMARK(BM_CheckHmovHardware)->Arg(0)->Arg(1);
+
+void
+BM_CheckHmovNaive(benchmark::State &state)
+{
+    const HfiRegisterFile bank = makeBank(state.range(0) != 0);
+    HmovOperands ops;
+    ops.scale = 8;
+    ops.width = 8;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        ops.index = static_cast<std::int64_t>(i++ & 0xffff);
+        benchmark::DoNotOptimize(
+            AccessChecker::checkHmovNaive(bank, 0, ops, false));
+    }
+}
+BENCHMARK(BM_CheckHmovNaive)->Arg(0)->Arg(1);
+
+void
+BM_CheckImplicitFirstMatch(benchmark::State &state)
+{
+    // Cost of the first-match scan as a function of which region hits.
+    HfiRegisterFile bank;
+    bank.enabled = true;
+    for (unsigned slot = kFirstImplicitDataRegion;
+         slot < kFirstExplicitRegion; ++slot) {
+        ImplicitDataRegion r;
+        r.basePrefix = 0x10000000ULL * (slot + 1);
+        r.lsbMask = 0xffff;
+        r.permRead = true;
+        bank.regions[slot] = r;
+    }
+    const auto hit_slot = static_cast<unsigned>(state.range(0));
+    const std::uint64_t addr = 0x10000000ULL * (hit_slot + 1) + 0x100;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            AccessChecker::checkData(bank, addr, 8, false));
+    }
+}
+BENCHMARK(BM_CheckImplicitFirstMatch)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Ablation: hmov bounds-check hardware budget (Section 4)\n");
+    std::printf("  hardware-faithful: 1x 32-bit comparator + 2 sign bits "
+                "+ 1 overflow bit per access\n");
+    std::printf("  naive design:      2x 64-bit comparators per access "
+                "(~4x the comparator bits,\n");
+    std::printf("                     wider operand routing next to the "
+                "AGU/dtb critical path)\n");
+    std::printf("  Both are semantically identical on every well-formed "
+                "region (asserted by the\n"
+                "  HmovEquivalence property tests); the cheap check is "
+                "what makes the large/small\n"
+                "  region constraints worthwhile.\n\n");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: the three Spectre-mitigation postures for sandbox
+ * transitions (§3.4, §4.5):
+ *
+ *  - unserialized enter/exit: fastest, but speculation can run past the
+ *    transition (no Spectre protection across the boundary);
+ *  - is-serialized enter/exit: ~30-60 cycles per transition pair;
+ *  - switch-on-exit: the trusted runtime serializes once, children
+ *    switch register banks without serializing.
+ *
+ * The sweep varies how much work each sandbox invocation does, showing
+ * where the serialization tax is visible and where it amortizes — the
+ * paper's argument for making the mitigation configurable.
+ */
+
+#include <cstdio>
+
+#include "core/context.h"
+
+namespace
+{
+
+using namespace hfi;
+using namespace hfi::core;
+
+enum class Posture
+{
+    Unserialized,
+    Serialized,
+    SwitchOnExit,
+};
+
+double
+runPosture(Posture posture, unsigned invocations, unsigned work_cycles)
+{
+    vm::VirtualClock clock;
+    HfiContext ctx(clock);
+
+    if (posture == Posture::SwitchOnExit) {
+        // The runtime parks itself in a serialized hybrid sandbox once.
+        SandboxConfig runtime_cfg;
+        runtime_cfg.isHybrid = true;
+        runtime_cfg.isSerialized = true;
+        ctx.enter(runtime_cfg);
+    }
+
+    const double t0 = clock.nowNs();
+    for (unsigned i = 0; i < invocations; ++i) {
+        SandboxConfig cfg;
+        cfg.isHybrid = true;
+        cfg.isSerialized = posture == Posture::Serialized;
+        cfg.switchOnExit = posture == Posture::SwitchOnExit;
+        ctx.enter(cfg);
+        clock.tick(work_cycles);
+        ctx.exit();
+    }
+    return clock.nowNs() - t0;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr unsigned kInvocations = 10000;
+    std::printf("Ablation: Spectre-mitigation posture vs per-invocation "
+                "work (%u invocations, ns total)\n",
+                kInvocations);
+    std::printf("%-14s %14s %14s %14s %12s\n", "work/invoke",
+                "unserialized", "is-serialized", "switch-on-exit",
+                "ser. tax");
+    std::printf("%.*s\n", 72,
+                "--------------------------------------------------------"
+                "----------------");
+    for (unsigned work : {0u, 100u, 1000u, 10000u, 100000u}) {
+        const double plain =
+            runPosture(Posture::Unserialized, kInvocations, work);
+        const double serialized =
+            runPosture(Posture::Serialized, kInvocations, work);
+        const double soe =
+            runPosture(Posture::SwitchOnExit, kInvocations, work);
+        std::printf("%9u cyc %12.0f us %12.0f us %12.0f us %+10.1f%%\n",
+                    work, plain / 1e3, serialized / 1e3, soe / 1e3,
+                    (serialized / plain - 1.0) * 100.0);
+    }
+    std::printf("\nswitch-on-exit tracks the unserialized cost while "
+                "keeping Spectre protection\nwithin the trust set (§4.5); "
+                "full serialization only matters for short\ninvocations — "
+                "exactly the paper's argument for making it a flag.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Library sandboxing, Firefox-style (§6.2): run an untrusted image
+ * decoder inside a sandbox so a malicious file cannot corrupt the host.
+ *
+ * Shows the three isolation backends side by side on the same decode,
+ * then feeds the sandbox a truncated/corrupted bitstream and
+ * demonstrates the difference between precise traps (guard pages,
+ * bounds checks, HFI) and silent wrapping (classic masking SFI).
+ *
+ * Build & run:  ./build/examples/library_sandboxing
+ */
+
+#include <cstdio>
+
+#include "sfi/runtime.h"
+#include "workloads/image.h"
+
+using namespace hfi;
+
+namespace
+{
+
+std::unique_ptr<sfi::Sandbox>
+makeSandbox(vm::Mmu &mmu, core::HfiContext &ctx, sfi::BackendKind kind)
+{
+    sfi::RuntimeConfig config;
+    config.backend = kind;
+    sfi::Runtime runtime(mmu, ctx, config);
+    return runtime.createSandbox({8, 1024});
+}
+
+} // namespace
+
+int
+main()
+{
+    // The "image from the network".
+    const auto pixels = workloads::image::makeTestImage(320, 200, 7);
+    const auto img = workloads::image::encode(
+        pixels, 320, 200, workloads::image::Quality::Default);
+    std::printf("Encoded test image: %ux%u, %zu bitstream bytes\n",
+                img.width, img.height, img.bits.size());
+
+    std::printf("\nDecoding under each isolation backend:\n");
+    for (auto kind :
+         {sfi::BackendKind::GuardPages, sfi::BackendKind::BoundsCheck,
+          sfi::BackendKind::Hfi}) {
+        vm::VirtualClock clock;
+        vm::Mmu mmu(clock);
+        core::HfiContext ctx(clock);
+        auto sandbox = makeSandbox(mmu, ctx, kind);
+        std::uint64_t checksum = 0;
+        const double t0 = clock.nowNs();
+        const bool ok = sandbox->invoke([&](sfi::Sandbox &s) {
+            checksum = workloads::image::decodeSandboxed(s, img);
+        });
+        std::printf("  %-13s ok=%d checksum=%016lx virtual time "
+                    "%7.2f ms (loads=%lu stores=%lu)\n",
+                    sfi::backendKindName(kind), ok,
+                    static_cast<unsigned long>(checksum),
+                    (clock.nowNs() - t0) / 1e6,
+                    static_cast<unsigned long>(sandbox->stats().loads),
+                    static_cast<unsigned long>(sandbox->stats().stores));
+    }
+
+    std::printf("\nNow a malicious decoder run (it scribbles past its "
+                "heap):\n");
+    for (auto kind : {sfi::BackendKind::Hfi, sfi::BackendKind::Mask}) {
+        vm::VirtualClock clock;
+        vm::Mmu mmu(clock);
+        core::HfiContext ctx(clock);
+        auto sandbox = makeSandbox(mmu, ctx, kind);
+        // Plant a sentinel the wrap would corrupt.
+        sandbox->store<std::uint64_t>(64, 0xfeedfacecafebeefULL);
+        const bool ok = sandbox->invoke([&](sfi::Sandbox &s) {
+            // "Compromised" decoder: writes far out of bounds.
+            for (std::uint64_t off = 0; off < 4; ++off) {
+                s.store<std::uint64_t>((600ULL << 20) + off * 8 + 64,
+                                       0x4141414141414141ULL);
+            }
+        });
+        const std::uint64_t sentinel = sandbox->load<std::uint64_t>(64);
+        std::printf("  %-13s attack contained=%s, sentinel %s "
+                    "(wrapped accesses: %lu)\n",
+                    sfi::backendKindName(kind),
+                    ok ? "NO (ran to completion)" : "yes (trapped)",
+                    sentinel == 0xfeedfacecafebeefULL ? "intact"
+                                                      : "CORRUPTED",
+                    static_cast<unsigned long>(
+                        sandbox->stats().wrappedAccesses));
+    }
+    std::printf("\nPrecise traps are why the paper rules out masking for "
+                "Wasm (§2) — and why HFI's\nhmov keeps trap semantics "
+                "while costing nothing per access.\n");
+    return 0;
+}

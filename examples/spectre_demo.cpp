@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The Spectre story of §3.4/§5.3 as a demo: run the SafeSide-style
+ * Spectre-PHT attack on the cycle-level core and watch the cache
+ * side channel recover a secret string byte by byte — then turn on
+ * HFI's regions and watch the channel go dark.
+ *
+ * Build & run:  ./build/examples/spectre_demo
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "spectre/attacker.h"
+
+using namespace hfi::spectre;
+
+namespace
+{
+
+std::string
+stealString(const std::string &secret, bool with_hfi)
+{
+    std::string recovered;
+    for (char c : secret) {
+        const auto result = runAttack(
+            Variant::Pht, with_hfi, static_cast<std::uint8_t>(c));
+        if (result.secretLeaked &&
+            result.hottestGuess == static_cast<std::uint8_t>(c)) {
+            recovered += static_cast<char>(result.hottestGuess);
+        } else {
+            recovered += '.';
+        }
+    }
+    return recovered;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string secret = "It's a TRAP!";
+
+    std::printf("Victim holds the secret: \"%s\"\n\n", secret.c_str());
+
+    std::printf("1) Unprotected victim (no HFI):\n");
+    const std::string stolen = stealString(secret, false);
+    std::printf("   attacker recovered:  \"%s\"\n\n", stolen.c_str());
+
+    std::printf("2) Victim protected by HFI regions (the secret's page "
+                "is a no-permission region):\n");
+    const std::string blocked = stealString(secret, true);
+    std::printf("   attacker recovered:  \"%s\"\n\n", blocked.c_str());
+
+    // Show the Fig 7 signal for one byte.
+    const auto open_run = runAttack(Variant::Pht, false, 'I');
+    const auto protected_run = runAttack(Variant::Pht, true, 'I');
+    std::printf("Flush+reload latencies around the secret byte 'I' (%u):\n",
+                'I');
+    std::printf("   guess:        ");
+    for (int g = 'I' - 3; g <= 'I' + 3; ++g)
+        std::printf("%5d", g);
+    std::printf("\n   no HFI:       ");
+    for (int g = 'I' - 3; g <= 'I' + 3; ++g)
+        std::printf("%5u", open_run.probeLatency[g]);
+    std::printf("\n   with HFI:     ");
+    for (int g = 'I' - 3; g <= 'I' + 3; ++g)
+        std::printf("%5u", protected_run.probeLatency[g]);
+    std::printf("\n   (hit/miss threshold: %u cycles)\n",
+                open_run.threshold);
+
+    std::printf("\nWhy it works: the speculatively faulting load becomes "
+                "a faulting NOP before the\ndata cache can fill (§4.1), "
+                "so no secret-dependent line ever lands in the cache.\n");
+    return stolen == secret && blocked != secret ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The HFI access checker: bit-level models of the bounds checks that the
+ * hardware performs in parallel with the dtb lookup (data), the decode
+ * stage (code), and the AGU (hmov) — §4.1 and §4.2 of the paper.
+ *
+ * Two interchangeable implementations of the explicit-region check are
+ * provided:
+ *
+ *  - the *hardware-faithful* check, which exploits the large/small region
+ *    constraints so that a single 32-bit comparator plus two sign-bit
+ *    checks and an overflow check suffice (§4.2); and
+ *  - a *naive* reference check using full 64-bit arithmetic.
+ *
+ * Tests assert the two agree on every well-formed region (the paper's
+ * argument for why the cheap check is sound), and the ablation benchmark
+ * contrasts their modeled hardware cost.
+ */
+
+#ifndef HFI_CORE_CHECKER_H
+#define HFI_CORE_CHECKER_H
+
+#include <cstdint>
+
+#include "core/context.h"
+#include "core/region.h"
+
+namespace hfi::core
+{
+
+/** Outcome of a checked memory operation. */
+struct CheckResult
+{
+    bool ok = false;
+    /** Fault classification when !ok. */
+    ExitReason reason = ExitReason::None;
+    /** Index of the first-matching region register, or kNumRegions. */
+    unsigned matchedRegion = kNumRegions;
+
+    static CheckResult
+    pass(unsigned region)
+    {
+        return {true, ExitReason::None, region};
+    }
+
+    static CheckResult
+    fail(ExitReason reason)
+    {
+        return {false, reason, kNumRegions};
+    }
+};
+
+/** Outcome of an hmov address computation + check. */
+struct HmovResult
+{
+    bool ok = false;
+    ExitReason reason = ExitReason::None;
+    /** Absolute effective address (region base + offset) when ok. */
+    VAddr address = 0;
+};
+
+/** The x86 addressing-mode operands an hmov consumes (§3.2, §4.2). */
+struct HmovOperands
+{
+    /**
+     * Index register value, sign-interpreted: hmov traps when negative.
+     * (The base operand of the original mov is ignored and replaced by
+     * the region base.)
+     */
+    std::int64_t index = 0;
+    /** Scale factor applied to the index: 1, 2, 4, or 8. */
+    std::uint8_t scale = 1;
+    /** Displacement immediate, sign-interpreted; traps when negative. */
+    std::int64_t displacement = 0;
+    /** Access width in bytes (1, 2, 4, 8, 16, 32, or 64). */
+    std::uint32_t width = 8;
+};
+
+/**
+ * Stateless checking logic over a context's region registers.
+ *
+ * The checker never mutates the HfiContext; callers (the pipeline model,
+ * the SFI backends) decide what to do with a failed check — normally
+ * HfiContext::onFault plus a modeled SIGSEGV.
+ */
+class AccessChecker
+{
+  public:
+    /**
+     * Check a load (@p write == false) or store against the implicit
+     * data regions, first-match semantics (§3.2). The whole access
+     * [addr, addr+width) must lie inside the matched region: hardware
+     * achieves this because a power-of-two region can only be escaped by
+     * an access that also changes the checked prefix.
+     */
+    static CheckResult checkData(const HfiRegisterFile &bank, VAddr addr,
+                                 std::uint32_t width, bool write);
+
+    /** Check an instruction fetch against the implicit code regions. */
+    static CheckResult checkFetch(const HfiRegisterFile &bank, VAddr addr);
+
+    /**
+     * Compute and check the effective address of hmov<n> using the
+     * hardware-faithful single-32-bit-comparator scheme (§4.2).
+     *
+     * @param explicit_index 0..3, selecting hmov0..hmov3 (register
+     *        kFirstExplicitRegion + explicit_index).
+     */
+    static HmovResult checkHmov(const HfiRegisterFile &bank,
+                                unsigned explicit_index,
+                                const HmovOperands &ops, bool write);
+
+    /**
+     * Reference implementation of the explicit-region check using full
+     * 64-bit comparisons. Used by property tests to validate the
+     * hardware-faithful path and by the ablation bench as the
+     * "two 64-bit comparators" design point.
+     */
+    static HmovResult checkHmovNaive(const HfiRegisterFile &bank,
+                                     unsigned explicit_index,
+                                     const HmovOperands &ops, bool write);
+
+    /** Convenience overloads over a live context's active bank. @{ */
+    static CheckResult checkData(const HfiContext &ctx, VAddr addr,
+                                 std::uint32_t width, bool write);
+    static CheckResult checkFetch(const HfiContext &ctx, VAddr addr);
+    static HmovResult checkHmov(const HfiContext &ctx,
+                                unsigned explicit_index,
+                                const HmovOperands &ops, bool write);
+    static HmovResult checkHmovNaive(const HfiContext &ctx,
+                                     unsigned explicit_index,
+                                     const HmovOperands &ops, bool write);
+    /** @} */
+};
+
+} // namespace hfi::core
+
+#endif // HFI_CORE_CHECKER_H

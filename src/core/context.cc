@@ -1,0 +1,247 @@
+#include "core/context.h"
+
+namespace hfi::core
+{
+
+const char *
+exitReasonName(ExitReason reason)
+{
+    switch (reason) {
+      case ExitReason::None: return "none";
+      case ExitReason::HfiExit: return "hfi_exit";
+      case ExitReason::Syscall: return "syscall";
+      case ExitReason::DataBoundsViolation: return "data-bounds-violation";
+      case ExitReason::CodeBoundsViolation: return "code-bounds-violation";
+      case ExitReason::PermissionViolation: return "permission-violation";
+      case ExitReason::HmovBoundsViolation: return "hmov-bounds-violation";
+      case ExitReason::HmovNegativeOperand: return "hmov-negative-operand";
+      case ExitReason::HmovOverflow: return "hmov-overflow";
+      case ExitReason::HmovEmptyRegion: return "hmov-empty-region";
+      case ExitReason::HardwareFault: return "hardware-fault";
+      case ExitReason::IllegalRegionUpdate: return "illegal-region-update";
+      case ExitReason::IllegalXrstor: return "illegal-xrstor";
+    }
+    return "unknown";
+}
+
+HfiContext::HfiContext(vm::VirtualClock &clock, HfiCostParams costs)
+    : clock_(clock), costs_(costs)
+{
+}
+
+void
+HfiContext::serialize()
+{
+    charge(costs_.serializeCycles);
+    ++stats_.serializations;
+}
+
+/**
+ * True when @p region may legally be stored in register number @p n:
+ * the variant alternative must match the register class and the value
+ * must obey its well-formedness rules. EmptyRegion is storable anywhere
+ * (it is what hfi_clear_region writes).
+ */
+static bool
+regionMatchesSlot(unsigned n, const Region &region)
+{
+    if (std::holds_alternative<EmptyRegion>(region))
+        return true;
+    switch (regionClassOf(n)) {
+      case RegionClass::Code:
+        return std::holds_alternative<ImplicitCodeRegion>(region) &&
+               std::get<ImplicitCodeRegion>(region).wellFormed();
+      case RegionClass::ImplicitData:
+        return std::holds_alternative<ImplicitDataRegion>(region) &&
+               std::get<ImplicitDataRegion>(region).wellFormed();
+      case RegionClass::ExplicitData:
+        return std::holds_alternative<ExplicitDataRegion>(region) &&
+               std::get<ExplicitDataRegion>(region).wellFormed();
+    }
+    return false;
+}
+
+HfiResult
+HfiContext::setRegion(unsigned n, const Region &region)
+{
+    charge(costs_.setRegionCycles);
+    if (n >= kNumRegions || regionsLocked() || !regionMatchesSlot(n, region)) {
+        msrExitReason = ExitReason::IllegalRegionUpdate;
+        return HfiResult::Trap;
+    }
+    if (bank.enabled) {
+        // Inside a hybrid sandbox region updates serialize to keep
+        // in-flight memory operations correct (§4.3); code-region
+        // updates additionally flush pending memory operations.
+        charge(costs_.hybridRegionUpdateSerializeCycles);
+        ++stats_.serializations;
+        if (regionClassOf(n) == RegionClass::Code)
+            charge(costs_.codeRegionFlushCycles);
+    }
+    bank.regions[n] = region;
+    ++stats_.regionUpdates;
+    return HfiResult::Ok;
+}
+
+std::optional<Region>
+HfiContext::getRegion(unsigned n)
+{
+    charge(costs_.getRegionCycles);
+    if (n >= kNumRegions || regionsLocked()) {
+        msrExitReason = ExitReason::IllegalRegionUpdate;
+        return std::nullopt;
+    }
+    return bank.regions[n];
+}
+
+HfiResult
+HfiContext::clearRegion(unsigned n)
+{
+    charge(costs_.clearRegionCycles);
+    if (n >= kNumRegions || regionsLocked()) {
+        msrExitReason = ExitReason::IllegalRegionUpdate;
+        return HfiResult::Trap;
+    }
+    bank.regions[n] = EmptyRegion{};
+    ++stats_.regionUpdates;
+    return HfiResult::Ok;
+}
+
+HfiResult
+HfiContext::clearAllRegions()
+{
+    charge(costs_.clearAllRegionsCycles);
+    if (regionsLocked()) {
+        msrExitReason = ExitReason::IllegalRegionUpdate;
+        return HfiResult::Trap;
+    }
+    bank.regions.fill(Region{EmptyRegion{}});
+    ++stats_.regionUpdates;
+    return HfiResult::Ok;
+}
+
+HfiResult
+HfiContext::enter(const SandboxConfig &config)
+{
+    charge(costs_.enterCycles);
+    if (config.isSerialized)
+        serialize();
+
+    if (config.switchOnExit) {
+        // Preserve the trusted runtime's register bank so hfi_exit can
+        // atomically switch back instead of disabling HFI (§4.5).
+        shadow = bank;
+        shadowValid = true;
+        charge(costs_.switchBankCycles);
+        ++stats_.bankSwitches;
+    }
+
+    bank.config = config;
+    bank.enabled = true;
+    lastConfig = config;
+    lastConfigValid = true;
+    ++stats_.enters;
+    return HfiResult::Ok;
+}
+
+VAddr
+HfiContext::exit()
+{
+    charge(costs_.exitCycles);
+    ++stats_.exits;
+    lastExitSwitched_ = false;
+
+    if (bank.enabled && bank.config.switchOnExit && shadowValid) {
+        // Switch-on-exit: restore the runtime's bank; HFI stays enabled
+        // inside the runtime's own (hybrid) sandbox, so no serialization
+        // is required for Spectre safety (§3.4).
+        bank = shadow;
+        shadowValid = false;
+        charge(costs_.switchBankCycles);
+        ++stats_.bankSwitches;
+        msrExitReason = ExitReason::HfiExit;
+        lastExitSwitched_ = true;
+        return 0;
+    }
+
+    if (bank.config.isSerialized)
+        serialize();
+
+    const bool was_native = bank.enabled && !bank.config.isHybrid;
+    bank.enabled = false;
+    msrExitReason = ExitReason::HfiExit;
+    // Native sandboxes always transfer control to the installed exit
+    // handler; hybrid exits fall through to the code after hfi_exit
+    // unless a handler was explicitly installed (§3.3.2).
+    return was_native || bank.config.exitHandler ? bank.config.exitHandler
+                                                 : 0;
+}
+
+HfiResult
+HfiContext::reenter()
+{
+    charge(costs_.reenterCycles);
+    if (!lastConfigValid || bank.enabled)
+        return HfiResult::Trap;
+    return enter(lastConfig);
+}
+
+std::optional<VAddr>
+HfiContext::onSyscall()
+{
+    if (!bank.enabled)
+        return std::nullopt;
+    // §4.4: one extra microcode cycle checks the is-hybrid flag.
+    charge(costs_.syscallCheckCycles);
+    if (bank.config.isHybrid)
+        return std::nullopt; // trusted code: syscalls go through
+
+    // Native sandbox: convert the syscall into a jump to the exit
+    // handler. HFI mode is disabled atomically with the redirect.
+    charge(costs_.syscallRedirectCycles);
+    if (bank.config.isSerialized)
+        serialize();
+    bank.enabled = false;
+    msrExitReason = ExitReason::Syscall;
+    ++stats_.syscallRedirects;
+    return bank.config.exitHandler;
+}
+
+void
+HfiContext::onFault(ExitReason reason)
+{
+    bank.enabled = false;
+    shadowValid = false;
+    msrExitReason = reason;
+    ++stats_.faults;
+}
+
+ExitReason
+HfiContext::readExitReasonMsr()
+{
+    charge(costs_.readMsrCycles);
+    return msrExitReason;
+}
+
+HfiRegisterFile
+HfiContext::xsave()
+{
+    charge(costs_.xsaveHfiCycles);
+    return bank;
+}
+
+HfiResult
+HfiContext::xrstor(const HfiRegisterFile &file)
+{
+    charge(costs_.xrstorHfiCycles);
+    if (bank.enabled && !bank.config.isHybrid) {
+        // §3.3.3: allowing a native sandbox to rewrite the HFI registers
+        // would break sandboxing, so the instruction traps.
+        onFault(ExitReason::IllegalXrstor);
+        return HfiResult::Trap;
+    }
+    bank = file;
+    return HfiResult::Ok;
+}
+
+} // namespace hfi::core

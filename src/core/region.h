@@ -1,0 +1,184 @@
+/**
+ * @file
+ * HFI region types (§3.2 and appendix A.1 of the paper).
+ *
+ * Two families of regions control all memory access while HFI mode is
+ * enabled:
+ *
+ *  - Implicit regions check *every* load/store (data regions) or
+ *    instruction fetch (code regions) by prefix matching: the lsb_mask
+ *    drops the least significant bits of the address and the remainder
+ *    is compared with base_prefix. Power-of-two size/alignment in
+ *    exchange for a check that is just an AND plus an equality compare.
+ *
+ *  - Explicit regions are (base, bound) handles accessed via the
+ *    hmov0..3 instructions. Large regions address up to 256 TiB at
+ *    64 KiB granularity; small regions address up to 4 GiB at byte
+ *    granularity but must not span a 4 GiB boundary. These constraints
+ *    let the hardware check bounds with a single 32-bit comparator
+ *    (§4.2).
+ */
+
+#ifndef HFI_CORE_REGION_H
+#define HFI_CORE_REGION_H
+
+#include <cstdint>
+#include <variant>
+
+#include "vm/address_space.h"
+
+namespace hfi::core
+{
+
+using vm::VAddr;
+
+/** 64 KiB: the alignment/granularity of large explicit regions. */
+constexpr std::uint64_t kLargeRegionGrain = 1ULL << 16;
+
+/** Large explicit regions can address up to 2^48 bytes. */
+constexpr std::uint64_t kLargeRegionMaxBound = 1ULL << 48;
+
+/** Small explicit regions can address up to 4 GiB. */
+constexpr std::uint64_t kSmallRegionMaxBound = 1ULL << 32;
+
+/** Number of implicit data regions per sandbox. */
+constexpr unsigned kNumImplicitDataRegions = 4;
+
+/** Number of implicit code regions per sandbox. */
+constexpr unsigned kNumImplicitCodeRegions = 2;
+
+/** Number of explicit data regions per sandbox (hmov0..hmov3). */
+constexpr unsigned kNumExplicitRegions = 4;
+
+/** Total region registers (appendix: 0-1 code, 2-5 implicit, 6-9 explicit). */
+constexpr unsigned kNumRegions =
+    kNumImplicitCodeRegions + kNumImplicitDataRegions + kNumExplicitRegions;
+
+/** First region number of each class. */
+constexpr unsigned kFirstCodeRegion = 0;
+constexpr unsigned kFirstImplicitDataRegion = kNumImplicitCodeRegions;
+constexpr unsigned kFirstExplicitRegion =
+    kNumImplicitCodeRegions + kNumImplicitDataRegions;
+
+/**
+ * An implicit code region (prefix checked against the program counter).
+ */
+struct ImplicitCodeRegion
+{
+    VAddr basePrefix = 0;
+    std::uint64_t lsbMask = 0;
+    bool permExec = false;
+
+    /** True if @p addr falls inside this region. */
+    bool
+    contains(VAddr addr) const
+    {
+        return (addr & ~lsbMask) == basePrefix;
+    }
+
+    /**
+     * True if the parameters obey the power-of-two constraint: lsbMask
+     * must be of the form 2^k - 1 and basePrefix must have no bits inside
+     * the mask.
+     */
+    bool
+    wellFormed() const
+    {
+        return ((lsbMask + 1) & lsbMask) == 0 && (basePrefix & lsbMask) == 0;
+    }
+};
+
+/**
+ * An implicit data region (prefix checked against every load/store that
+ * does not go through an explicit region).
+ */
+struct ImplicitDataRegion
+{
+    VAddr basePrefix = 0;
+    std::uint64_t lsbMask = 0;
+    bool permRead = false;
+    bool permWrite = false;
+
+    bool
+    contains(VAddr addr) const
+    {
+        return (addr & ~lsbMask) == basePrefix;
+    }
+
+    bool
+    wellFormed() const
+    {
+        return ((lsbMask + 1) & lsbMask) == 0 && (basePrefix & lsbMask) == 0;
+    }
+};
+
+/**
+ * An explicit data region: a (base, bound) handle addressed relatively
+ * through hmov.
+ */
+struct ExplicitDataRegion
+{
+    VAddr baseAddress = 0;
+    std::uint64_t bound = 0; ///< size of the region in bytes
+    bool permRead = false;
+    bool permWrite = false;
+    bool isLargeRegion = false;
+
+    /**
+     * Validity per §3.2:
+     *  - large: base and bound are multiples of 64 KiB, bound ≤ 2^48;
+     *  - small: bound ≤ 4 GiB and [base, base+bound) does not span an
+     *    address that is a multiple of 4 GiB (ending exactly on one is
+     *    allowed — the region then does not *span* it).
+     */
+    bool
+    wellFormed() const
+    {
+        if (isLargeRegion) {
+            return baseAddress % kLargeRegionGrain == 0 &&
+                   bound % kLargeRegionGrain == 0 &&
+                   bound <= kLargeRegionMaxBound;
+        }
+        if (bound > kSmallRegionMaxBound)
+            return false;
+        if (bound == 0)
+            return true;
+        const VAddr last = baseAddress + bound - 1;
+        if (last < baseAddress)
+            return false; // wraps the address space
+        return (baseAddress >> 32) == (last >> 32) ||
+               (baseAddress + bound) % kSmallRegionMaxBound == 0;
+    }
+};
+
+/** A cleared (inaccessible) region register. */
+struct EmptyRegion
+{
+};
+
+/** Any region register value. */
+using Region = std::variant<EmptyRegion, ImplicitCodeRegion,
+                            ImplicitDataRegion, ExplicitDataRegion>;
+
+/** Classification of a region number. */
+enum class RegionClass
+{
+    Code,
+    ImplicitData,
+    ExplicitData,
+};
+
+/** Classify region number @p n (0-1 code, 2-5 implicit, 6-9 explicit). */
+constexpr RegionClass
+regionClassOf(unsigned n)
+{
+    if (n < kFirstImplicitDataRegion)
+        return RegionClass::Code;
+    if (n < kFirstExplicitRegion)
+        return RegionClass::ImplicitData;
+    return RegionClass::ExplicitData;
+}
+
+} // namespace hfi::core
+
+#endif // HFI_CORE_REGION_H

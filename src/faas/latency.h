@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Latency bookkeeping for the FaaS experiments: mean, percentiles, and
+ * sustained throughput over virtual time.
+ */
+
+#ifndef HFI_FAAS_LATENCY_H
+#define HFI_FAAS_LATENCY_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace hfi::faas
+{
+
+/** Accumulates per-request latencies (nanoseconds of virtual time). */
+class LatencyRecorder
+{
+  public:
+    void add(double ns) { samples.push_back(ns); }
+
+    std::size_t count() const { return samples.size(); }
+
+    double
+    mean() const
+    {
+        if (samples.empty())
+            return 0;
+        double sum = 0;
+        for (double s : samples)
+            sum += s;
+        return sum / static_cast<double>(samples.size());
+    }
+
+    /** @p p in [0, 100]; nearest-rank percentile. */
+    double
+    percentile(double p) const
+    {
+        if (samples.empty())
+            return 0;
+        std::vector<double> sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        const auto rank = static_cast<std::size_t>(
+            p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+        return sorted[std::min(rank, sorted.size() - 1)];
+    }
+
+    /** Requests per second given the run spanned @p duration_ns. */
+    double
+    throughput(double duration_ns) const
+    {
+        if (duration_ns <= 0)
+            return 0;
+        return static_cast<double>(samples.size()) * 1e9 / duration_ns;
+    }
+
+  private:
+    std::vector<double> samples;
+};
+
+} // namespace hfi::faas
+
+#endif // HFI_FAAS_LATENCY_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A FaaS platform model: a closed-loop webserver serving sandboxed
+ * request handlers — the Table 1 / §6.5 harness.
+ *
+ * Mirrors the paper's Rocket-webserver setup: a fixed population of
+ * concurrent clients each sends a request, waits for its response, and
+ * immediately sends the next. The (single-core) server runs handlers to
+ * completion in FIFO order, so request latency is queueing delay plus
+ * service time; with 100 clients against millisecond services the
+ * latency sits near clients x mean-service, which is exactly the regime
+ * Table 1's numbers live in.
+ *
+ * Service time is *measured*, not assumed: the handler runs for real
+ * against the shared virtual clock, under one of the protection schemes
+ * being compared (unsafe, HFI native sandbox with serialized
+ * transitions, HFI with switch-on-exit, or Swivel-hardened code).
+ */
+
+#ifndef HFI_FAAS_PLATFORM_H
+#define HFI_FAAS_PLATFORM_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/context.h"
+#include "faas/latency.h"
+#include "sfi/sandbox.h"
+#include "swivel/swivel.h"
+#include "vm/virtual_clock.h"
+
+namespace hfi::faas
+{
+
+/** How handler execution is protected against escapes/Spectre. */
+enum class Protection
+{
+    Unsafe,          ///< Lucet baseline: isolation, no Spectre hardening
+    HfiNative,       ///< HFI native sandbox, serialized enter/exit (§3.4)
+    HfiSwitchOnExit, ///< HFI with the switch-on-exit extension (§4.5)
+    Swivel,          ///< Swivel-SFI compiler hardening [53]
+};
+
+const char *protectionName(Protection p);
+
+/** One scheme's end-to-end results, Table 1's row cells. */
+struct RunResult
+{
+    double avgLatencyNs = 0;
+    double tailLatencyNs = 0; ///< p99
+    double throughputRps = 0;
+    std::uint64_t binaryBytes = 0;
+};
+
+/** Platform configuration. */
+struct PlatformConfig
+{
+    unsigned clients = 100;    ///< closed-loop client population
+    unsigned requests = 400;   ///< total requests to serve
+    Protection protection = Protection::Unsafe;
+    /** Swivel effect (used when protection == Swivel). */
+    swivel::SwivelEffect swivelEffect{};
+    /** Stock binary size reported for non-Swivel schemes. */
+    std::uint64_t stockBinaryBytes = 0;
+};
+
+/**
+ * A request handler: given the sandbox and a per-request seed, do the
+ * work (the Table 1 workloads bind their staging + kernel here).
+ */
+using Handler = std::function<void(sfi::Sandbox &, std::uint32_t seed)>;
+
+/**
+ * Run @p handler under the configured protection scheme and client
+ * population and report Table 1's four cells.
+ *
+ * @param sandbox a prepared sandbox whose backend matches the scheme.
+ * @param ctx the core's HFI context (used by the HFI schemes).
+ */
+RunResult runClosedLoop(const PlatformConfig &config, sfi::Sandbox &sandbox,
+                        core::HfiContext &ctx, const Handler &handler);
+
+} // namespace hfi::faas
+
+#endif // HFI_FAAS_PLATFORM_H

@@ -1,0 +1,55 @@
+#include "os/scheduler.h"
+
+namespace hfi::os
+{
+
+Scheduler::Scheduler(core::HfiContext &ctx, SchedulerCosts costs)
+    : ctx(ctx), costs_(costs)
+{
+}
+
+int
+Scheduler::createProcess(const std::string &name)
+{
+    Process process;
+    process.pid = static_cast<int>(processes.size());
+    process.name = name;
+    // A fresh process starts with a cleared HFI register file — the
+    // kernel zeroes the xsave area, so no region state leaks between
+    // processes.
+    processes.push_back(process);
+    if (current < 0)
+        current = process.pid;
+    return process.pid;
+}
+
+bool
+Scheduler::switchTo(int pid)
+{
+    if (pid < 0 || pid >= static_cast<int>(processes.size()))
+        return false;
+    auto &clock = ctx.clock();
+    clock.tick(clock.nsToCycles(costs_.contextSwitchNs));
+
+    if (costs_.saveHfiRegs) {
+        // xsave with save-hfi-regs: capture the outgoing process's HFI
+        // registers (§3.3.3)...
+        processes[current].hfiState = ctx.xsave();
+        // ...and xrstor the incoming one's. The kernel runs with HFI
+        // disabled, so this cannot trap.
+        ctx.xrstor(processes[pid].hfiState);
+    }
+    current = pid;
+    ++processes[pid].switchIns;
+    return true;
+}
+
+int
+Scheduler::yield()
+{
+    const int next = (current + 1) % static_cast<int>(processes.size());
+    switchTo(next);
+    return next;
+}
+
+} // namespace hfi::os

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The OS side of HFI (§3.3.3): "Multiple processes can use HFI
+ * concurrently. To enable this, the OS must save the contents of HFI
+ * registers (along with the general-purpose registers) when switching
+ * between processes... HFI adds a flag (save-hfi-regs) to the x86 xsave
+ * and xrstor instructions."
+ *
+ * This module is that "simple and minimal change": a round-robin
+ * process scheduler whose context switch extends the usual xsave/xrstor
+ * pair with the HFI register file. Each process gets its own view of
+ * the region registers; a process that is preempted mid-sandbox resumes
+ * still sandboxed.
+ */
+
+#ifndef HFI_OS_SCHEDULER_H
+#define HFI_OS_SCHEDULER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "vm/virtual_clock.h"
+
+namespace hfi::os
+{
+
+/** Costs of the modeled kernel context switch. */
+struct SchedulerCosts
+{
+    /** Ring transition + scheduler bookkeeping + GP xsave/xrstor, ns. */
+    double contextSwitchNs = 1200.0;
+    /**
+     * Incremental cost of the save-hfi-regs flag: 22 extra 64-bit
+     * registers through xsave/xrstor (§4's register budget). Charged
+     * through HfiContext's xsave/xrstor cycle costs.
+     */
+    bool saveHfiRegs = true;
+};
+
+/** One process's saved context. */
+struct Process
+{
+    int pid = -1;
+    std::string name;
+    /** HFI register file captured at the last switch-out. */
+    core::HfiRegisterFile hfiState{};
+    std::uint64_t switchIns = 0;
+};
+
+/**
+ * A miniature round-robin scheduler over one core's HfiContext.
+ *
+ * Only the HFI-relevant part of a context switch is modeled; general-
+ * purpose register save/restore is a flat cost.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(core::HfiContext &ctx, SchedulerCosts costs = {});
+
+    /** Create a process; the first one becomes current. */
+    int createProcess(const std::string &name);
+
+    /**
+     * Switch to @p pid: xsave the current process's HFI registers,
+     * xrstor the target's.
+     * @return false for an unknown pid.
+     */
+    bool switchTo(int pid);
+
+    /** Round-robin: switch to the next process in pid order. */
+    int yield();
+
+    int currentPid() const { return current; }
+    const Process &process(int pid) const { return processes[pid]; }
+    std::size_t processCount() const { return processes.size(); }
+
+    core::HfiContext &context() { return ctx; }
+
+  private:
+    core::HfiContext &ctx;
+    SchedulerCosts costs_;
+    std::vector<Process> processes;
+    int current = -1;
+};
+
+} // namespace hfi::os
+
+#endif // HFI_OS_SCHEDULER_H

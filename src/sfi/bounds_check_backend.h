@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The conditional-bounds-check backend: the portable SFI fallback (§2).
+ *
+ * Every load/store is preceded by an explicit compare of the effective
+ * offset against the current memory size plus a conditional branch to a
+ * trap stub. This needs no guard reservation (only the 4 GiB memory
+ * itself) and gives precise traps, but Fig 3 measures it at 18.7%-48.3%
+ * slowdown: the compare/branch pair costs cycles on every access and two
+ * registers (heap base + bound) stay pinned (§6.1 measures the two-
+ * register reservation at 2.40%).
+ */
+
+#ifndef HFI_SFI_BOUNDS_CHECK_BACKEND_H
+#define HFI_SFI_BOUNDS_CHECK_BACKEND_H
+
+#include "sfi/backend.h"
+#include "vm/mmu.h"
+
+namespace hfi::sfi
+{
+
+/** Tunable costs of the bounds-check scheme. */
+struct BoundsCheckCosts
+{
+    /** Springboard transition cost (cycles). */
+    std::uint64_t transitionCycles = 12;
+    /**
+     * Amortized compare+branch cost per access in milli-cycles. The raw
+     * pair is 2 µops but the out-of-order window hides part of it; 1200
+     * milli-cycles reproduces Fig 3's 18.7-48.3% spread across kernels
+     * of differing access density.
+     */
+    std::uint64_t checkMilli = 1200;
+    /** Register-pressure tax per op, milli-cycles (2.40% — §6.1). */
+    std::uint64_t opPressureMilli = 24;
+    /** Extra address-computation milli-cycles per access (see
+     *  GuardPageCosts::addressingMilli). */
+    std::uint64_t addressingMilli = 0;
+};
+
+class BoundsCheckBackend : public IsolationBackend
+{
+  public:
+    explicit BoundsCheckBackend(vm::Mmu &mmu, BoundsCheckCosts costs = {});
+    ~BoundsCheckBackend() override;
+
+    BackendKind kind() const override { return BackendKind::BoundsCheck; }
+
+    bool create(std::uint64_t initial_pages,
+                std::uint64_t max_pages) override;
+    void destroy() override;
+    void grow(std::uint64_t old_pages, std::uint64_t new_pages) override;
+    AccessCheck checkAccess(std::uint64_t offset, std::uint32_t width,
+                            bool write, const LinearMemory &mem) override;
+    void enterSandbox() override;
+    void exitSandbox() override;
+    SteadyStateCosts steadyStateCosts() const override;
+
+    std::uint64_t reservedVaBytes() const override { return maxBytes; }
+
+    std::uint64_t baseAddress() const override { return base; }
+
+  private:
+    vm::Mmu &mmu;
+    BoundsCheckCosts costs_;
+    std::uint64_t maxBytes = 0;
+    vm::VAddr base = 0;
+    bool live = false;
+};
+
+} // namespace hfi::sfi
+
+#endif // HFI_SFI_BOUNDS_CHECK_BACKEND_H

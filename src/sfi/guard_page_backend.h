@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The guard-page backend: how production Wasm runtimes isolate today (§2).
+ *
+ * An 8 GiB region is reserved with mmap(PROT_NONE): 4 GiB for the linear
+ * memory plus a 4 GiB guard so that any `base + u32_addr + u32_offset`
+ * lands either in accessible memory or in an unmapped page that traps.
+ * Growth calls mprotect() over the newly accessible pages — the expensive
+ * operation HFI's region-register update replaces (§6.1's 30x gap).
+ *
+ * Steady-state tax: the heap base is pinned in a general-purpose
+ * register, which §6.1 measures as a 2.25% slowdown on Spidermonkey.
+ */
+
+#ifndef HFI_SFI_GUARD_PAGE_BACKEND_H
+#define HFI_SFI_GUARD_PAGE_BACKEND_H
+
+#include "sfi/backend.h"
+#include "vm/mmu.h"
+
+namespace hfi::sfi
+{
+
+/** Tunable costs of the guard-page scheme. */
+struct GuardPageCosts
+{
+    /** Zero-cost-transition style springboard (cycles). */
+    std::uint64_t transitionCycles = 12;
+    /** Register-pressure tax per op, milli-cycles (2.25% — §6.1). */
+    std::uint64_t opPressureMilli = 23;
+    /**
+     * Extra address-computation milli-cycles per access (u32 zext +
+     * base add emitted by the Wasm compiler). Zero by default: in
+     * steady-state SPEC-style code the out-of-order core hides the add
+     * (Fig 3 shows guard pages ~= HFI). The Firefox benches set it
+     * nonzero to model wasm2c-in-RLBox code where the dense access
+     * stream saturates the AGU ports (§6.2).
+     */
+    std::uint64_t addressingMilli = 0;
+};
+
+class GuardPageBackend : public IsolationBackend
+{
+  public:
+    /**
+     * @param mmu the process MMU that pays mmap/mprotect costs.
+     * @param guard_bytes guard-region size; 4 GiB in production Wasm.
+     */
+    GuardPageBackend(vm::Mmu &mmu, GuardPageCosts costs = {},
+                     std::uint64_t guard_bytes = 4ULL << 30);
+
+    ~GuardPageBackend() override;
+
+    BackendKind kind() const override { return BackendKind::GuardPages; }
+
+    bool create(std::uint64_t initial_pages,
+                std::uint64_t max_pages) override;
+    void destroy() override;
+    void grow(std::uint64_t old_pages, std::uint64_t new_pages) override;
+    AccessCheck checkAccess(std::uint64_t offset, std::uint32_t width,
+                            bool write, const LinearMemory &mem) override;
+    void enterSandbox() override;
+    void exitSandbox() override;
+    SteadyStateCosts steadyStateCosts() const override;
+
+    std::uint64_t reservedVaBytes() const override { return reservation; }
+
+    /** Base of the 8 GiB reservation (0 before create()). */
+    std::uint64_t baseAddress() const override { return base; }
+
+  private:
+    vm::Mmu &mmu;
+    GuardPageCosts costs_;
+    std::uint64_t guardBytes;
+    std::uint64_t maxBytes = 0;   ///< linear-memory portion (4 GiB)
+    std::uint64_t reservation = 0;///< heap + guard
+    vm::VAddr base = 0;
+    bool live = false;
+};
+
+} // namespace hfi::sfi
+
+#endif // HFI_SFI_GUARD_PAGE_BACKEND_H

@@ -1,0 +1,94 @@
+#include "sfi/mask_backend.h"
+
+#include <bit>
+
+#include "sfi/linear_memory.h"
+
+namespace hfi::sfi
+{
+
+MaskBackend::MaskBackend(vm::Mmu &mmu, MaskCosts costs)
+    : mmu(mmu), costs_(costs)
+{
+}
+
+MaskBackend::~MaskBackend()
+{
+    if (live)
+        destroy();
+}
+
+bool
+MaskBackend::create(std::uint64_t initial_pages, std::uint64_t max_pages)
+{
+    maxBytes = std::bit_ceil(max_pages * kWasmPageSize);
+    mask_ = maxBytes - 1;
+    auto addr = mmu.mmapReserve(maxBytes, maxBytes);
+    if (!addr)
+        return false;
+    base = *addr;
+    live = true;
+    if (initial_pages > 0)
+        grow(0, initial_pages);
+    return true;
+}
+
+void
+MaskBackend::destroy()
+{
+    if (!live)
+        return;
+    mmu.munmap(base);
+    live = false;
+    base = 0;
+}
+
+void
+MaskBackend::grow(std::uint64_t old_pages, std::uint64_t new_pages)
+{
+    const std::uint64_t old_bytes = old_pages * kWasmPageSize;
+    const std::uint64_t new_bytes = new_pages * kWasmPageSize;
+    if (new_bytes > old_bytes) {
+        mmu.mprotect(base + old_bytes, new_bytes - old_bytes,
+                     vm::PageProt::ReadWrite);
+    }
+}
+
+AccessCheck
+MaskBackend::checkAccess(std::uint64_t offset, std::uint32_t width,
+                         bool write, const LinearMemory &mem)
+{
+    (void)write;
+    if (offset + width <= mem.size())
+        return {AccessOutcome::Ok, offset};
+    // No trap: the AND forces the address into the accessible region.
+    // We mask to the largest power of two not exceeding the accessible
+    // size so the wrapped access (including its width) always lands on
+    // mapped memory — the silent-corruption behaviour §2 describes.
+    const std::uint64_t eff_mask = std::bit_floor(mem.size()) - 1;
+    return {AccessOutcome::Wrapped, offset & mask_ & eff_mask};
+}
+
+void
+MaskBackend::enterSandbox()
+{
+    mmu.clock().tick(costs_.transitionCycles);
+}
+
+void
+MaskBackend::exitSandbox()
+{
+    mmu.clock().tick(costs_.transitionCycles);
+}
+
+SteadyStateCosts
+MaskBackend::steadyStateCosts() const
+{
+    SteadyStateCosts costs;
+    costs.loadExtraMilli = costs_.maskMilli;
+    costs.storeExtraMilli = costs_.maskMilli;
+    costs.opPressureMilli = costs_.opPressureMilli;
+    return costs;
+}
+
+} // namespace hfi::sfi

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The address-masking backend: classic Wahbe-style SFI (§2, [78]).
+ *
+ * Out-of-bounds addresses are not detected — they are ANDed back into the
+ * sandbox's power-of-two region, converting bounds errors into silent
+ * (seemingly random) memory corruption. The paper rules masking out for
+ * Wasm because Wasm requires precise trap semantics; we implement it both
+ * as the historical baseline and so tests can demonstrate exactly that
+ * imprecise-trap defect (an out-of-bounds store lands on unrelated
+ * in-bounds data instead of faulting).
+ */
+
+#ifndef HFI_SFI_MASK_BACKEND_H
+#define HFI_SFI_MASK_BACKEND_H
+
+#include "sfi/backend.h"
+#include "vm/mmu.h"
+
+namespace hfi::sfi
+{
+
+/** Tunable costs of the masking scheme. */
+struct MaskCosts
+{
+    std::uint64_t transitionCycles = 12;
+    /** The AND instruction inserted before every access (milli-cycles). */
+    std::uint64_t maskMilli = 600;
+    /** One register pinned for the mask/base (§6.1: 2.25%). */
+    std::uint64_t opPressureMilli = 23;
+};
+
+class MaskBackend : public IsolationBackend
+{
+  public:
+    explicit MaskBackend(vm::Mmu &mmu, MaskCosts costs = {});
+    ~MaskBackend() override;
+
+    BackendKind kind() const override { return BackendKind::Mask; }
+
+    bool create(std::uint64_t initial_pages,
+                std::uint64_t max_pages) override;
+    void destroy() override;
+    void grow(std::uint64_t old_pages, std::uint64_t new_pages) override;
+    AccessCheck checkAccess(std::uint64_t offset, std::uint32_t width,
+                            bool write, const LinearMemory &mem) override;
+    void enterSandbox() override;
+    void exitSandbox() override;
+    SteadyStateCosts steadyStateCosts() const override;
+
+    std::uint64_t reservedVaBytes() const override { return maxBytes; }
+
+    std::uint64_t baseAddress() const override { return base; }
+
+    /** The power-of-two mask applied to every offset. */
+    std::uint64_t mask() const { return mask_; }
+
+  private:
+    vm::Mmu &mmu;
+    MaskCosts costs_;
+    std::uint64_t maxBytes = 0;
+    std::uint64_t mask_ = 0;
+    vm::VAddr base = 0;
+    bool live = false;
+};
+
+} // namespace hfi::sfi
+
+#endif // HFI_SFI_MASK_BACKEND_H

@@ -1,0 +1,129 @@
+#include "sfi/multi_memory.h"
+
+#include <algorithm>
+
+namespace hfi::sfi
+{
+
+MultiMemorySandbox::MultiMemorySandbox(vm::Mmu &mmu, core::HfiContext &ctx,
+                                       unsigned memory_count,
+                                       std::uint64_t initial_pages,
+                                       std::uint64_t max_pages)
+    : mmu(mmu), ctx(ctx), maxPages(max_pages)
+{
+    slots.fill(-1);
+    memories.reserve(memory_count);
+    for (unsigned i = 0; i < memory_count; ++i) {
+        Memory memory;
+        memory.storage =
+            std::make_unique<LinearMemory>(initial_pages, max_pages);
+        // Guard-free footprint: exactly the declared maximum, nothing
+        // more — this is the §2 contrast with the per-memory 8 GiB of
+        // guard-page multi-memory.
+        auto base = mmu.mmap(max_pages * kWasmPageSize,
+                             vm::PageProt::ReadWrite, kWasmPageSize);
+        if (!base)
+            return;
+        memory.base = *base;
+        reservedVa += max_pages * kWasmPageSize;
+        memories.push_back(std::move(memory));
+    }
+    valid_ = true;
+}
+
+MultiMemorySandbox::~MultiMemorySandbox()
+{
+    for (Memory &memory : memories) {
+        if (memory.base)
+            mmu.munmap(memory.base);
+    }
+}
+
+void
+MultiMemorySandbox::enter()
+{
+    core::SandboxConfig cfg;
+    cfg.isHybrid = true; // the runtime inside multiplexes the registers
+    cfg.isSerialized = true;
+    ctx.enter(cfg);
+}
+
+void
+MultiMemorySandbox::exit()
+{
+    ctx.exit();
+}
+
+void
+MultiMemorySandbox::programSlot(unsigned slot, unsigned memory)
+{
+    core::ExplicitDataRegion region;
+    region.baseAddress = memories[memory].base;
+    region.bound = memories[memory].storage->size();
+    region.permRead = true;
+    region.permWrite = true;
+    region.isLargeRegion = true;
+    // §4.3: inside the hybrid sandbox this update serializes —
+    // HfiContext charges the cost.
+    ctx.setRegion(core::kFirstExplicitRegion + slot, region);
+}
+
+unsigned
+MultiMemorySandbox::ensureBound(unsigned memory)
+{
+    Memory &m = memories[memory];
+    if (m.slot >= 0) {
+        slotLru[static_cast<unsigned>(m.slot)] = ++lruClock;
+        return static_cast<unsigned>(m.slot);
+    }
+
+    // Evict the LRU slot.
+    unsigned victim = 0;
+    for (unsigned s = 1; s < core::kNumExplicitRegions; ++s) {
+        if (slots[s] < 0) {
+            victim = s;
+            break;
+        }
+        if (slotLru[s] < slotLru[victim])
+            victim = s;
+    }
+    if (slots[victim] >= 0)
+        memories[static_cast<unsigned>(slots[victim])].slot = -1;
+
+    slots[victim] = static_cast<int>(memory);
+    slotLru[victim] = ++lruClock;
+    m.slot = static_cast<int>(victim);
+    programSlot(victim, memory);
+    ++stats_.rebinds;
+    return victim;
+}
+
+void
+MultiMemorySandbox::check(unsigned slot, std::uint64_t offset,
+                          std::uint32_t width, bool write)
+{
+    ++stats_.accesses;
+    core::HmovOperands ops;
+    ops.index = static_cast<std::int64_t>(offset);
+    ops.width = width;
+    const auto res = core::AccessChecker::checkHmov(ctx, slot, ops, write);
+    if (!res.ok) {
+        ++stats_.traps;
+        throw SandboxTrap(offset, width, write);
+    }
+}
+
+std::int64_t
+MultiMemorySandbox::memoryGrow(unsigned memory, std::uint64_t delta_pages)
+{
+    const std::int64_t prev = memories[memory].storage->grow(delta_pages);
+    if (prev < 0)
+        return -1;
+    // If the memory is live in a slot, refresh the bound register —
+    // still just a register update (§6.1).
+    if (memories[memory].slot >= 0)
+        programSlot(static_cast<unsigned>(memories[memory].slot), memory);
+    return prev;
+}
+
+} // namespace hfi::sfi

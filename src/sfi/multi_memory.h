@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Wasm multi-memory support (§2, §3.3.1).
+ *
+ * "Popular Wasm runtimes support multiple memories per-instance (e.g.,
+ * for sharing data between instances)" — and under guard pages each one
+ * costs another 8 GiB of address space. With HFI each memory is an
+ * explicit region; an instance with more memories than the four
+ * explicit region registers "can multiplex HFI's (finite) registers
+ * among a larger number of multi-memories" from inside its hybrid
+ * sandbox (§3.3.1), paying a serialized hfi_set_region per rebind
+ * (§4.3).
+ *
+ * MultiMemorySandbox implements exactly that: N linear memories, an
+ * LRU binding of memories to the explicit region slots, transparent
+ * rebinding on access, and real enforcement through the hmov checker.
+ */
+
+#ifndef HFI_SFI_MULTI_MEMORY_H
+#define HFI_SFI_MULTI_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/checker.h"
+#include "core/context.h"
+#include "sfi/linear_memory.h"
+#include "sfi/sandbox.h"
+#include "vm/mmu.h"
+
+namespace hfi::sfi
+{
+
+/** Per-instance counters. */
+struct MultiMemoryStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t rebinds = 0;
+    std::uint64_t traps = 0;
+};
+
+/**
+ * An instance with @p memory_count linear memories multiplexed over the
+ * explicit region registers.
+ */
+class MultiMemorySandbox
+{
+  public:
+    /**
+     * @param memory_count how many memories the instance declares.
+     * @param initial_pages / @p max_pages per memory.
+     * @return invalid (valid() == false) when the address space cannot
+     *         hold the footprints.
+     */
+    MultiMemorySandbox(vm::Mmu &mmu, core::HfiContext &ctx,
+                       unsigned memory_count,
+                       std::uint64_t initial_pages = 1,
+                       std::uint64_t max_pages = 16);
+    ~MultiMemorySandbox();
+
+    MultiMemorySandbox(const MultiMemorySandbox &) = delete;
+    MultiMemorySandbox &operator=(const MultiMemorySandbox &) = delete;
+
+    bool valid() const { return valid_; }
+
+    /** Enter the instance's hybrid sandbox (regions stay writable). */
+    void enter();
+
+    /** Leave it. */
+    void exit();
+
+    /** Typed access to memory @p memory at @p offset. @{ */
+    template <typename T>
+    T
+    load(unsigned memory, std::uint64_t offset)
+    {
+        const unsigned slot = ensureBound(memory);
+        check(slot, offset, sizeof(T), false);
+        return memories[memory].storage->load<T>(offset);
+    }
+
+    template <typename T>
+    void
+    store(unsigned memory, std::uint64_t offset, T value)
+    {
+        const unsigned slot = ensureBound(memory);
+        check(slot, offset, sizeof(T), true);
+        memories[memory].storage->store<T>(offset, value);
+    }
+    /** @} */
+
+    /** memory_grow on memory @p memory. */
+    std::int64_t memoryGrow(unsigned memory, std::uint64_t delta_pages);
+
+    unsigned memoryCount() const
+    {
+        return static_cast<unsigned>(memories.size());
+    }
+
+    /** Slot a memory is currently bound to, or -1. */
+    int boundSlot(unsigned memory) const { return memories[memory].slot; }
+
+    /** Total address-space footprint (no guard regions!). */
+    std::uint64_t reservedVaBytes() const { return reservedVa; }
+
+    const MultiMemoryStats &stats() const { return stats_; }
+
+  private:
+    struct Memory
+    {
+        std::unique_ptr<LinearMemory> storage;
+        vm::VAddr base = 0;
+        int slot = -1;
+    };
+
+    /** Bind @p memory to an explicit slot (LRU evict), lazily. */
+    unsigned ensureBound(unsigned memory);
+
+    /** Program slot @p slot with @p memory's current descriptor. */
+    void programSlot(unsigned slot, unsigned memory);
+
+    /** Enforce via the hmov checker; throws SandboxTrap on violation. */
+    void check(unsigned slot, std::uint64_t offset, std::uint32_t width,
+               bool write);
+
+    vm::Mmu &mmu;
+    core::HfiContext &ctx;
+    std::vector<Memory> memories;
+    /** slot -> memory index (or -1). */
+    std::array<int, core::kNumExplicitRegions> slots{};
+    /** LRU stamps per slot. */
+    std::array<std::uint64_t, core::kNumExplicitRegions> slotLru{};
+    std::uint64_t lruClock = 0;
+    std::uint64_t maxPages;
+    std::uint64_t reservedVa = 0;
+    bool valid_ = false;
+    MultiMemoryStats stats_;
+};
+
+} // namespace hfi::sfi
+
+#endif // HFI_SFI_MULTI_MEMORY_H

@@ -1,0 +1,104 @@
+#include "sfi/sandbox.h"
+
+#include <sstream>
+
+namespace hfi::sfi
+{
+
+SandboxTrap::SandboxTrap(std::uint64_t offset, std::uint32_t width,
+                         bool write)
+    : std::runtime_error([&] {
+          std::ostringstream os;
+          os << "sandbox trap: " << (write ? "store" : "load") << " of "
+             << width << " bytes at offset 0x" << std::hex << offset;
+          return os.str();
+      }()),
+      offset_(offset), width_(width), write_(write)
+{
+}
+
+Sandbox::Sandbox(std::unique_ptr<IsolationBackend> backend, vm::Mmu &mmu,
+                 SandboxOptions opts)
+    : backend_(std::move(backend)), mmu_(mmu),
+      memory_(opts.initialPages, opts.maxPages), opts(opts)
+{
+    valid_ = backend_->create(opts.initialPages, opts.maxPages);
+    if (!valid_)
+        return;
+
+    const SteadyStateCosts costs = backend_->steadyStateCosts();
+    const std::uint64_t icache =
+        costs.icacheMilliPerAccess * opts.icacheSensitivity;
+    // Register-pressure spill cost is smeared over *every* instruction,
+    // memory operations included (§6.1's whole-program 2.25%/2.40%).
+    loadMilli = costs.loadExtraMilli + icache + costs.opPressureMilli;
+    storeMilli = costs.storeExtraMilli + icache + costs.opPressureMilli;
+    opMilli = costs.opPressureMilli;
+
+    touched.resize(opts.maxPages * (kWasmPageSize / vm::kPageSize), false);
+}
+
+Sandbox::~Sandbox()
+{
+    if (valid_)
+        backend_->destroy();
+}
+
+void
+Sandbox::enter()
+{
+    backend_->enterSandbox();
+}
+
+void
+Sandbox::exit()
+{
+    flushCharge();
+    backend_->exitSandbox();
+}
+
+std::int64_t
+Sandbox::memoryGrow(std::uint64_t delta_pages)
+{
+    ++stats_.growCalls;
+    auto &clock = mmu_.clock();
+    clock.tick(clock.nsToCycles(opts.growRuntimeNs));
+
+    const std::uint64_t old_pages = memory_.pages();
+    const std::int64_t prev = memory_.grow(delta_pages);
+    if (prev < 0)
+        return -1;
+    backend_->grow(old_pages, memory_.pages());
+    return prev;
+}
+
+void
+Sandbox::flushCharge()
+{
+    mmu_.clock().tick(pendingMilli / 1000);
+    pendingMilli %= 1000;
+}
+
+std::uint64_t
+Sandbox::checkedOffset(std::uint64_t offset, std::uint32_t width, bool write)
+{
+    const AccessCheck check =
+        backend_->checkAccess(offset, width, write, memory_);
+    if (check.outcome == AccessOutcome::Trap)
+        throw SandboxTrap(offset, width, write);
+    if (check.outcome == AccessOutcome::Wrapped)
+        ++stats_.wrappedAccesses;
+
+    // First touch of a 4 KiB page takes a minor fault through the Mmu
+    // (allocation + page-table fill); later accesses are free.
+    const std::uint64_t page = check.offset / vm::kPageSize;
+    if (page < touched.size() && !touched[page]) {
+        touched[page] = true;
+        // Access the backing virtual address so the Mmu charges the
+        // fault and marks residency for the teardown experiments.
+        mmu_.access(backend_->baseAddress() + check.offset, width, write);
+    }
+    return check.offset;
+}
+
+} // namespace hfi::sfi

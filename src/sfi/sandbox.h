@@ -1,0 +1,219 @@
+/**
+ * @file
+ * A sandbox instance: one linear memory + one isolation backend + the
+ * metered execution surface that workloads run against.
+ *
+ * Workloads perform *real* computation — loads and stores move genuine
+ * bytes through LinearMemory so functional results are testable — while
+ * every access is (a) checked by the configured isolation backend and
+ * (b) charged to the virtual clock with the backend's steady-state cost
+ * structure. This is the same separation the paper's compiler-based
+ * emulation makes (§5.2): real work, modeled isolation costs.
+ */
+
+#ifndef HFI_SFI_SANDBOX_H
+#define HFI_SFI_SANDBOX_H
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sfi/backend.h"
+#include "sfi/linear_memory.h"
+#include "vm/mmu.h"
+
+namespace hfi::sfi
+{
+
+/**
+ * Thrown when a sandboxed access traps (guard-page SIGSEGV, bounds-check
+ * trap stub, or HFI fault). Mask backends never throw — that is their
+ * documented defect.
+ */
+class SandboxTrap : public std::runtime_error
+{
+  public:
+    SandboxTrap(std::uint64_t offset, std::uint32_t width, bool write);
+
+    std::uint64_t offset() const { return offset_; }
+    std::uint32_t width() const { return width_; }
+    bool isWrite() const { return write_; }
+
+  private:
+    std::uint64_t offset_;
+    std::uint32_t width_;
+    bool write_;
+};
+
+/** Per-sandbox construction parameters. */
+struct SandboxOptions
+{
+    std::uint64_t initialPages = 1;
+    std::uint64_t maxPages = 65536; ///< 4 GiB, the Wasm limit
+    /**
+     * How sensitive this workload's code footprint is to instruction-
+     * cache pressure (0..100). Big-code workloads (445.gobmk) suffer
+     * from hmov's longer encodings (§6.1); small kernels do not.
+     */
+    unsigned icacheSensitivity = 0;
+    /**
+     * Runtime bookkeeping charged per memory_grow call in nanoseconds
+     * (instance table updates, libcall trampoline). Calibrated so the
+     * §6.1 grow microbenchmark lands on the paper's 370 ms HFI total.
+     */
+    double growRuntimeNs = 5640.0;
+};
+
+/** Execution counters for one sandbox. */
+struct SandboxStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t growCalls = 0;
+    std::uint64_t traps = 0;
+    std::uint64_t wrappedAccesses = 0;
+    std::uint64_t invocations = 0;
+};
+
+/**
+ * One sandbox instance.
+ *
+ * Thin, fast hot path: load/store perform the backend check, charge the
+ * cached milli-cycle cost, page in newly touched 4 KiB pages through the
+ * Mmu (first touch only), and move real bytes.
+ */
+class Sandbox
+{
+  public:
+    /**
+     * Create a sandbox over @p backend. The backend's create() runs
+     * immediately; failure (address space exhausted) leaves valid()
+     * false — the §6.3.2 scaling limit.
+     */
+    Sandbox(std::unique_ptr<IsolationBackend> backend, vm::Mmu &mmu,
+            SandboxOptions opts = {});
+    ~Sandbox();
+
+    Sandbox(const Sandbox &) = delete;
+    Sandbox &operator=(const Sandbox &) = delete;
+
+    /** True when the backend's address-space footprint was created. */
+    bool valid() const { return valid_; }
+
+    /** Enter sandboxed execution (springboard / hfi_enter). */
+    void enter();
+
+    /** Leave sandboxed execution (trampoline / hfi_exit). */
+    void exit();
+
+    /**
+     * Run @p fn between enter() and exit(), converting a SandboxTrap
+     * into a false return. The normal way workloads are invoked.
+     */
+    template <typename F>
+    bool
+    invoke(F &&fn)
+    {
+        ++stats_.invocations;
+        enter();
+        bool ok = true;
+        try {
+            fn(*this);
+        } catch (const SandboxTrap &) {
+            ++stats_.traps;
+            ok = false;
+        }
+        exit();
+        return ok;
+    }
+
+    /** memory_grow: add @p delta_pages. @return prior size or -1. */
+    std::int64_t memoryGrow(std::uint64_t delta_pages);
+
+    /** Typed load at @p offset; throws SandboxTrap on a violation. */
+    template <typename T>
+    T
+    load(std::uint64_t offset)
+    {
+        const std::uint64_t at = checkedOffset(offset, sizeof(T), false);
+        ++stats_.loads;
+        chargeMilli(1000 + loadMilli);
+        return memory_.load<T>(at);
+    }
+
+    /** Typed store at @p offset; throws SandboxTrap on a violation. */
+    template <typename T>
+    void
+    store(std::uint64_t offset, T value)
+    {
+        const std::uint64_t at = checkedOffset(offset, sizeof(T), true);
+        ++stats_.stores;
+        chargeMilli(1000 + storeMilli);
+        memory_.store<T>(at, value);
+    }
+
+    /**
+     * Charge @p n ALU/control operations of compute. One op is one
+     * cycle at the model's IPC=1 baseline, plus the backend's register-
+     * pressure tax.
+     */
+    void
+    chargeOps(std::uint64_t n)
+    {
+        stats_.ops += n;
+        chargeMilli(n * (1000 + opMilli));
+    }
+
+    LinearMemory &memory() { return memory_; }
+    const LinearMemory &memory() const { return memory_; }
+    IsolationBackend &backend() { return *backend_; }
+    const SandboxStats &stats() const { return stats_; }
+    vm::Mmu &mmu() { return mmu_; }
+
+    /** Flush accumulated sub-cycle charge to the clock (done on exit). */
+    void flushCharge();
+
+  private:
+    /** Backend check + first-touch paging; returns the final offset. */
+    std::uint64_t checkedOffset(std::uint64_t offset, std::uint32_t width,
+                                bool write);
+
+    void
+    chargeMilli(std::uint64_t milli)
+    {
+        pendingMilli += milli;
+        if (pendingMilli >= kFlushThresholdMilli)
+            flushCharge();
+    }
+
+    /**
+     * Flush granularity: accumulated sub-cycle charge is pushed to the
+     * clock once it reaches ~1000 cycles, so no observer (queueing
+     * models in particular) ever sees a large deferred burst.
+     */
+    static constexpr std::uint64_t kFlushThresholdMilli = 1'000'000;
+
+    std::unique_ptr<IsolationBackend> backend_;
+    vm::Mmu &mmu_;
+    LinearMemory memory_;
+    SandboxOptions opts;
+    bool valid_ = false;
+
+    /** Cached per-access costs (backend table + icache sensitivity). */
+    std::uint64_t loadMilli = 0;
+    std::uint64_t storeMilli = 0;
+    std::uint64_t opMilli = 0;
+
+    std::uint64_t pendingMilli = 0;
+    /** First-touch tracking per 4 KiB page of the linear memory. */
+    std::vector<bool> touched;
+
+    SandboxStats stats_;
+};
+
+} // namespace hfi::sfi
+
+#endif // HFI_SFI_SANDBOX_H

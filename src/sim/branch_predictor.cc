@@ -1,0 +1,60 @@
+#include "sim/branch_predictor.h"
+
+namespace hfi::sim
+{
+
+BranchPredictor::BranchPredictor(PredictorConfig config)
+    : config_(config), pht(config.phtEntries, 1), btb(config.btbEntries),
+      rsb(config.rsbDepth, 0)
+{
+}
+
+bool
+BranchPredictor::predictDirection(std::uint64_t pc) const
+{
+    return pht[(pc >> 2) % pht.size()] >= 2;
+}
+
+void
+BranchPredictor::updateDirection(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &counter = pht[(pc >> 2) % pht.size()];
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+}
+
+std::uint64_t
+BranchPredictor::predictTarget(std::uint64_t pc) const
+{
+    const BtbEntry &entry = btb[(pc >> 2) % btb.size()];
+    return entry.valid && entry.pc == pc ? entry.target : 0;
+}
+
+void
+BranchPredictor::updateTarget(std::uint64_t pc, std::uint64_t target)
+{
+    BtbEntry &entry = btb[(pc >> 2) % btb.size()];
+    entry.valid = true;
+    entry.pc = pc;
+    entry.target = target;
+}
+
+void
+BranchPredictor::pushReturn(std::uint64_t addr)
+{
+    rsb[rsbTop % rsb.size()] = addr;
+    ++rsbTop;
+}
+
+std::uint64_t
+BranchPredictor::popReturn()
+{
+    if (rsbTop == 0)
+        return 0;
+    --rsbTop;
+    return rsb[rsbTop % rsb.size()];
+}
+
+} // namespace hfi::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Branch prediction: a 2-bit-counter PHT for conditional direction, a
+ * BTB for taken/indirect targets, and an RSB for returns.
+ *
+ * The PHT is what the Spectre-PHT attack trains (§5.3): the attacker
+ * runs the victim's bounds check in-bounds repeatedly, driving the
+ * counter to strongly-taken, then supplies an out-of-bounds index so
+ * the core speculates down the in-bounds path.
+ */
+
+#ifndef HFI_SIM_BRANCH_PREDICTOR_H
+#define HFI_SIM_BRANCH_PREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace hfi::sim
+{
+
+/** Predictor geometry. */
+struct PredictorConfig
+{
+    unsigned phtEntries = 4096;
+    unsigned btbEntries = 512;
+    unsigned rsbDepth = 16;
+};
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(PredictorConfig config = {});
+
+    /** Predict a conditional branch's direction at @p pc. */
+    bool predictDirection(std::uint64_t pc) const;
+
+    /** Update the PHT with the resolved direction. */
+    void updateDirection(std::uint64_t pc, bool taken);
+
+    /**
+     * Predicted target for a taken/indirect branch at @p pc.
+     * @return 0 when the BTB has no entry (fetch then stalls until
+     *         resolution rather than following garbage).
+     */
+    std::uint64_t predictTarget(std::uint64_t pc) const;
+
+    void updateTarget(std::uint64_t pc, std::uint64_t target);
+
+    /** Push a return address (call). */
+    void pushReturn(std::uint64_t addr);
+
+    /** Pop the predicted return address (0 when empty). */
+    std::uint64_t popReturn();
+
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    void countMispredict() { ++mispredicts_; }
+
+  private:
+    PredictorConfig config_;
+    std::vector<std::uint8_t> pht; ///< 2-bit saturating counters
+    struct BtbEntry
+    {
+        bool valid = false;
+        std::uint64_t pc = 0;
+        std::uint64_t target = 0;
+    };
+    std::vector<BtbEntry> btb;
+    std::vector<std::uint64_t> rsb;
+    std::size_t rsbTop = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace hfi::sim
+
+#endif // HFI_SIM_BRANCH_PREDICTOR_H

@@ -1,0 +1,83 @@
+#include "sim/cache.h"
+
+namespace hfi::sim
+{
+
+Cache::Cache(CacheConfig config)
+    : config_(config),
+      sets(static_cast<unsigned>(config.sizeBytes /
+                                 (config.ways * config.lineBytes))),
+      lines(static_cast<std::size_t>(sets) * config.ways)
+{
+}
+
+CacheAccess
+Cache::access(std::uint64_t addr)
+{
+    const std::uint64_t line = lineFor(addr);
+    const unsigned set = static_cast<unsigned>(line % sets);
+    const std::uint64_t tag = line / sets;
+    Line *entry = &lines[static_cast<std::size_t>(set) * config_.ways];
+
+    Line *lru = entry;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &way = entry[w];
+        if (way.valid && way.tag == tag) {
+            way.lruStamp = ++stamp;
+            ++hits_;
+            return {true, config_.hitLatency};
+        }
+        if (!way.valid || way.lruStamp < lru->lruStamp)
+            lru = &way;
+    }
+
+    // Miss: fill into the LRU way.
+    lru->valid = true;
+    lru->tag = tag;
+    lru->lruStamp = ++stamp;
+    ++misses_;
+    return {false, config_.missLatency};
+}
+
+CacheAccess
+Cache::probe(std::uint64_t addr) const
+{
+    return contains(addr) ? CacheAccess{true, config_.hitLatency}
+                          : CacheAccess{false, config_.missLatency};
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const std::uint64_t line = lineFor(addr);
+    const unsigned set = static_cast<unsigned>(line % sets);
+    const std::uint64_t tag = line / sets;
+    const Line *entry = &lines[static_cast<std::size_t>(set) * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (entry[w].valid && entry[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush(std::uint64_t addr)
+{
+    const std::uint64_t line = lineFor(addr);
+    const unsigned set = static_cast<unsigned>(line % sets);
+    const std::uint64_t tag = line / sets;
+    Line *entry = &lines[static_cast<std::size_t>(set) * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (entry[w].valid && entry[w].tag == tag)
+            entry[w].valid = false;
+    }
+}
+
+void
+Cache::flushAll()
+{
+    for (Line &line : lines)
+        line.valid = false;
+}
+
+} // namespace hfi::sim

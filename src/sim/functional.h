@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Architectural state and single-instruction semantics for the pipeline
+ * simulator.
+ *
+ * The pipeline executes instructions *functionally at dispatch* against
+ * a speculative copy of this state (values are always dataflow-correct;
+ * timing is modeled separately), which is what lets wrong-path
+ * instructions compute with real values — the property the Spectre
+ * experiments require. Memory is abstracted behind MemView so the
+ * pipeline can interpose its store queue; the FunctionalCore can also
+ * run standalone (in-order, no timing) as the reference executor that
+ * tests compare the pipeline against.
+ */
+
+#ifndef HFI_SIM_FUNCTIONAL_H
+#define HFI_SIM_FUNCTIONAL_H
+
+#include <array>
+#include <cstdint>
+
+#include "core/checker.h"
+#include "core/context.h"
+#include "sim/isa.h"
+#include "sim/memory.h"
+#include "sim/program.h"
+
+namespace hfi::sim
+{
+
+/** Link register used by Call/Ret. */
+constexpr unsigned kLinkReg = 14;
+
+/** Register holding the exit-handler address consumed by hfi_enter. */
+constexpr unsigned kExitHandlerReg = 15;
+
+/** Architectural (or speculative) machine state. Cheap to copy. */
+struct ArchState
+{
+    std::array<std::uint64_t, kNumRegs> regs{};
+    std::uint64_t pc = 0;
+    /** The HFI register bank (regions, config, enabled). */
+    core::HfiRegisterFile hfi{};
+    /**
+     * The shadow bank of the switch-on-exit extension (§4.5): holds the
+     * trusted runtime's registers while a child sandbox runs.
+     */
+    core::HfiRegisterFile hfiShadow{};
+    bool shadowValid = false;
+    /** Exit-reason MSR (§3.3.2). */
+    core::ExitReason msr = core::ExitReason::None;
+};
+
+/** Memory interface the executor reads/writes through. */
+class MemView
+{
+  public:
+    virtual ~MemView() = default;
+    virtual std::uint64_t load(std::uint64_t addr, unsigned width) = 0;
+    virtual void store(std::uint64_t addr, std::uint64_t value,
+                       unsigned width) = 0;
+};
+
+/** Direct view over a SimMemory (the standalone / commit path). */
+class DirectMemView : public MemView
+{
+  public:
+    explicit DirectMemView(SimMemory &mem) : mem(mem) {}
+
+    std::uint64_t
+    load(std::uint64_t addr, unsigned width) override
+    {
+        return mem.read(addr, width);
+    }
+
+    void
+    store(std::uint64_t addr, std::uint64_t value, unsigned width) override
+    {
+        mem.write(addr, value, width);
+    }
+
+  private:
+    SimMemory &mem;
+};
+
+/** Everything the timing model needs to know about one execution. */
+struct ExecInfo
+{
+    std::uint64_t nextPc = 0;
+
+    bool isMem = false;
+    bool isWrite = false;
+    std::uint64_t memAddr = 0; ///< effective address (absolute)
+    std::uint8_t memWidth = 0;
+
+    bool isBranch = false;
+    bool branchTaken = false;
+
+    /** HFI (or machine) fault raised by this instruction. */
+    bool faulted = false;
+    core::ExitReason faultReason = core::ExitReason::None;
+
+    /** Instruction requires pipeline serialization (cpuid, serialized
+     *  hfi_enter/exit, region updates inside a hybrid sandbox). */
+    bool serializes = false;
+
+    bool halted = false;
+    bool isSyscall = false;
+    bool isFlush = false;
+};
+
+/**
+ * Executes one instruction: updates @p state (registers, pc, HFI bank,
+ * MSR) through @p mem, enforcing HFI semantics with the bit-level
+ * AccessChecker. Faulting instructions write no data (the faulting-NOP
+ * micro-op of §4.1) and leave state.pc at the trap target.
+ */
+class FunctionalCore
+{
+  public:
+    static ExecInfo execute(const Inst &inst, std::uint64_t pc,
+                            ArchState &state, MemView &mem);
+
+    /**
+     * Run @p program on @p state / @p memory in order until Halt, a
+     * fault, or @p max_steps. The reference executor for tests.
+     * @return number of instructions executed.
+     */
+    static std::uint64_t run(const Program &program, ArchState &state,
+                             SimMemory &memory,
+                             std::uint64_t max_steps = 100'000'000);
+};
+
+} // namespace hfi::sim
+
+#endif // HFI_SIM_FUNCTIONAL_H

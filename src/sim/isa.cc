@@ -1,0 +1,127 @@
+#include "sim/isa.h"
+
+#include <sstream>
+
+namespace hfi::sim
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Mov: return "mov";
+      case Opcode::Movi: return "movi";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::HmovLoad: return "hmov.load";
+      case Opcode::HmovStore: return "hmov.store";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Syscall: return "syscall";
+      case Opcode::Cpuid: return "cpuid";
+      case Opcode::HfiEnter: return "hfi_enter";
+      case Opcode::HfiExit: return "hfi_exit";
+      case Opcode::HfiSetRegion: return "hfi_set_region";
+      case Opcode::HfiClearRegion: return "hfi_clear_region";
+      case Opcode::Flush: return "clflush";
+      case Opcode::Halt: return "halt";
+      case Opcode::Nop: return "nop";
+    }
+    return "?";
+}
+
+bool
+isMemory(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store ||
+           op == Opcode::HmovLoad || op == Opcode::HmovStore;
+}
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isConditionalBranch(Opcode op)
+{
+    return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt ||
+           op == Opcode::Bge;
+}
+
+std::uint8_t
+defaultLength(const Inst &inst)
+{
+    switch (inst.op) {
+      case Opcode::HmovLoad:
+      case Opcode::HmovStore:
+        // The hmov prefix byte on top of a normal mov encoding — the
+        // icache-pressure cost §6.1 observes on 445.gobmk.
+        return 5;
+      case Opcode::Load:
+      case Opcode::Store:
+        // A mov with a 32-bit absolute displacement (the emulation's
+        // fixed-base addressing) costs a full 7-byte encoding.
+        return inst.imm > 0x7fff || inst.imm < -0x8000 ? 7 : 4;
+      case Opcode::Movi:
+        return inst.imm > 0x7fffffffLL || inst.imm < -0x80000000LL ? 10 : 5;
+      case Opcode::Cpuid:
+        return 2;
+      case Opcode::Syscall:
+        return 2;
+      case Opcode::Ret:
+        return 1;
+      case Opcode::Nop:
+        return 1;
+      case Opcode::Flush:
+        return 3;
+      case Opcode::HfiEnter:
+      case Opcode::HfiExit:
+      case Opcode::HfiSetRegion:
+      case Opcode::HfiClearRegion:
+        return 3;
+      default:
+        return 4;
+    }
+}
+
+std::string
+Inst::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op) << " rd=r" << unsigned(rd) << " ra=r"
+       << unsigned(ra) << " rb=r" << unsigned(rb);
+    if (useImm || imm)
+        os << " imm=" << imm;
+    if (isControl(op))
+        os << " target=0x" << std::hex << target;
+    return os.str();
+}
+
+} // namespace hfi::sim

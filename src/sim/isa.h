@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The micro-ISA of the pipeline simulator (§5.2, appendix A.2).
+ *
+ * The paper's gem5 model extends x86 with the HFI instructions; we model
+ * an x86-flavoured register machine whose instructions carry explicit
+ * *encoded lengths* (so fetch bandwidth and icache pressure behave like
+ * variable-length x86 — hmov carries a prefix byte, exactly the encoding
+ * cost §6.1 blames for 445.gobmk) and whose memory operations support
+ * the scale/index/displacement addressing hmov inherits (§4.2).
+ *
+ * The same ISA expresses both the "hardware HFI" and the "compiler
+ * emulation" versions of a kernel, which is what the Fig 2 cross-
+ * validation compares.
+ */
+
+#ifndef HFI_SIM_ISA_H
+#define HFI_SIM_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace hfi::sim
+{
+
+/** Number of architectural integer registers. */
+constexpr unsigned kNumRegs = 16;
+
+/** Opcodes of the micro-ISA. */
+enum class Opcode : std::uint8_t
+{
+    // ALU (rd <- ra OP rb, or rd <- ra OP imm when useImm).
+    Add,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Mov,  ///< rd <- ra
+    Movi, ///< rd <- imm
+
+    // Memory: address = ra + rb*scale + imm (rb optional index).
+    Load,      ///< rd <- mem[addr]
+    Store,     ///< mem[addr] <- rd
+    HmovLoad,  ///< rd <- region[rb*scale + imm] (ra ignored — §3.2)
+    HmovStore, ///< region[rb*scale + imm] <- rd
+
+    // Control flow. Conditional: compare ra against rb.
+    Beq,
+    Bne,
+    Blt, ///< signed less-than
+    Bge,
+    Jmp,
+    Call,
+    Ret,
+
+    // System / HFI.
+    Syscall,
+    Cpuid, ///< full pipeline serialization (the emulation's fence)
+    HfiEnter,
+    HfiExit,
+    HfiSetRegion,   ///< region number in `region`, descriptor regs ra..
+    HfiClearRegion,
+
+    /** clflush [ra+imm]: evict the line (the attacker's probe tool). */
+    Flush,
+
+    Halt,
+    Nop,
+};
+
+const char *opcodeName(Opcode op);
+
+/** True for Load/Store/HmovLoad/HmovStore. */
+bool isMemory(Opcode op);
+
+/** True for conditional branches, Jmp, Call, Ret. */
+bool isControl(Opcode op);
+
+/** True for the conditional branches only. */
+bool isConditionalBranch(Opcode op);
+
+/** One decoded instruction. */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0; ///< destination (or store source)
+    std::uint8_t ra = 0; ///< first source / memory base
+    std::uint8_t rb = 0; ///< second source / memory index
+    bool useImm = false; ///< ALU second operand is imm instead of rb
+    bool useIndex = false; ///< memory ops: add rb*scale to the address
+    std::uint8_t scale = 1;
+    std::int64_t imm = 0;
+    std::uint8_t width = 8;  ///< memory access width in bytes
+    std::uint8_t region = 0; ///< hmov: explicit region 0-3; hfi_set: 0-9
+    std::uint64_t target = 0;///< control flow target (byte address)
+
+    /**
+     * Encoded length in bytes. Assigned by the ProgramBuilder following
+     * x86-like rules: 4 bytes typical, +1 for an hmov prefix, 7 for a
+     * mov with a 32-bit absolute displacement, 2 for cpuid.
+     */
+    std::uint8_t length = 4;
+
+    std::string toString() const;
+};
+
+/** Default encoded lengths (x86-flavoured). */
+std::uint8_t defaultLength(const Inst &inst);
+
+} // namespace hfi::sim
+
+#endif // HFI_SIM_ISA_H

@@ -1,0 +1,571 @@
+#include "sim/kernels.h"
+
+#include "sim/functional.h"
+
+namespace hfi::sim::kernels
+{
+
+namespace
+{
+
+// Register conventions.
+constexpr unsigned kZero = 0;  ///< always 0
+constexpr unsigned kIter = 1;  ///< outer loop counter
+constexpr unsigned kAcc = 2;   ///< kernel result accumulator
+constexpr unsigned kOff = 3;   ///< heap offset cursor
+// r4..r9: kernel scratch; r10: inner counter; r11..r13 prologue scratch.
+
+/** Offset (within the heap) where kernels store their result. */
+constexpr std::int64_t kResultOffset = 0xfff8;
+
+/** Address of the emulated region-metadata descriptor (outside heap). */
+constexpr std::uint64_t kDescAddr = 0xff0000;
+
+/**
+ * Mode-dispatching assembler: the kernel bodies are written once
+ * against this wrapper, which renders heap accesses as hmov (hardware)
+ * or absolute-base mov (emulation), and transitions as hfi instructions
+ * or cpuid fences (appendix A.2).
+ */
+class KernelAsm
+{
+  public:
+    explicit KernelAsm(Mode mode) : b(0x400000), mode(mode) {}
+
+    /** Region setup + sandbox entry. */
+    void
+    prologue()
+    {
+        b.movi(kZero, 0);
+        if (mode == Mode::HfiHardware) {
+            // hfi_set_region(explicit 0) + serialized hybrid hfi_enter.
+            b.movi(11, static_cast<std::int64_t>(kHeapBase));
+            b.movi(12, static_cast<std::int64_t>(kHeapBytes));
+            b.hfiSetRegion(core::kFirstExplicitRegion, 11, 12,
+                           /*r|w|large*/ 1 | 2 | 8);
+            // Code region so fetch is legal inside the sandbox.
+            b.movi(11, 0x400000);
+            b.movi(12, 0xffff);
+            b.hfiSetRegion(0, 11, 12, /*exec*/ 4);
+            b.movi(kExitHandlerReg, 0);
+            b.hfiEnter(/*hybrid*/ true, /*serialized*/ true);
+        } else {
+            // Emulation: move the region metadata from memory into
+            // general-purpose registers, then fence with cpuid.
+            b.movi(11, static_cast<std::int64_t>(kDescAddr));
+            b.load(12, 11, 0, 8);
+            b.load(13, 11, 8, 8);
+            b.cpuid();
+        }
+    }
+
+    /** Store the accumulator, leave the sandbox, halt. */
+    void
+    epilogue()
+    {
+        memStore(kAcc, kZero, kResultOffset, 8);
+        if (mode == Mode::HfiHardware) {
+            b.hfiExit();
+        } else {
+            // Emulated hfi_exit: check for a registered handler, fence.
+            b.load(12, 11, 0, 8);
+            b.beq(12, 12, "emu_exit_fallthrough");
+            b.label("emu_exit_fallthrough");
+            b.cpuid();
+        }
+        b.halt();
+    }
+
+    /** rd <- heap[off_reg + disp]. */
+    void
+    memLoad(unsigned rd, unsigned off_reg, std::int64_t disp,
+            unsigned width = 8)
+    {
+        if (mode == Mode::HfiHardware)
+            b.hmovLoad(0, rd, off_reg, 1, disp, width);
+        else
+            b.loadIndexed(rd, kZero, off_reg, 1,
+                          static_cast<std::int64_t>(kHeapBase) + disp,
+                          width);
+    }
+
+    /** heap[off_reg + disp] <- rs. */
+    void
+    memStore(unsigned rs, unsigned off_reg, std::int64_t disp,
+             unsigned width = 8)
+    {
+        if (mode == Mode::HfiHardware) {
+            b.hmovStore(0, rs, off_reg, 1, disp, width);
+        } else {
+            Inst inst;
+            inst.op = Opcode::Store;
+            inst.rd = static_cast<std::uint8_t>(rs);
+            inst.ra = static_cast<std::uint8_t>(kZero);
+            inst.rb = static_cast<std::uint8_t>(off_reg);
+            inst.useIndex = true;
+            inst.scale = 1;
+            inst.imm = static_cast<std::int64_t>(kHeapBase) + disp;
+            inst.width = static_cast<std::uint8_t>(width);
+            inst.length = defaultLength(inst);
+            b.emit(inst);
+        }
+    }
+
+    /** rd <- rotate-left(ra, n) via shl/shr/or (3 ALU ops). */
+    void
+    rotl(unsigned rd, unsigned ra, unsigned n, unsigned t1, unsigned t2)
+    {
+        b.shli(t1, ra, n);
+        b.shri(t2, ra, 64 - n);
+        b.or_(rd, t1, t2);
+    }
+
+    /** Standard counted loop: label/decrement/branch around @p body. */
+    template <typename Body>
+    void
+    countedLoop(const std::string &label, std::int64_t n, Body &&body)
+    {
+        b.movi(kIter, n);
+        b.label(label);
+        body();
+        b.subi(kIter, kIter, 1);
+        b.bne(kIter, kZero, label);
+    }
+
+    ProgramBuilder b;
+    Mode mode;
+};
+
+/** Default stage: nothing beyond the zeroed heap + descriptor cell. */
+void
+stageNothing(SimMemory &mem, std::uint64_t, std::uint32_t)
+{
+    mem.write(kDescAddr, kHeapBase, 8);
+    mem.write(kDescAddr + 8, kHeapBytes, 8);
+}
+
+/** Stage a pointer-chase table at heap[0..slots*8). */
+void
+stageTable(SimMemory &mem, std::uint64_t, std::uint32_t seed)
+{
+    stageNothing(mem, 0, seed);
+    constexpr std::uint64_t slots = 1024;
+    std::uint64_t state = seed | 1;
+    for (std::uint64_t i = 0; i < slots; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        mem.write(kHeapBase + i * 8, (state >> 16) % slots, 8);
+    }
+}
+
+/** Stage pseudo-random bytes at heap[0..n). */
+void
+stageBytes(SimMemory &mem, std::uint64_t, std::uint32_t seed)
+{
+    stageNothing(mem, 0, seed);
+    std::uint64_t state = seed | 1;
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        mem.writeByte(kHeapBase + i, static_cast<std::uint8_t>(state >> 56));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel bodies. Each is a miniature instruction-mix analogue of its
+// Sightglass namesake: the load/store/ALU/branch densities match the
+// original's character, which is what determines how the hmov-vs-
+// emulation encodings interact with fetch bandwidth and the icache.
+// ---------------------------------------------------------------------
+
+Program
+buildFib2(Mode mode, std::uint64_t scale)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(4, 0);
+    k.memStore(kZero, kZero, 0);
+    k.b.movi(5, 1);
+    k.memStore(5, kZero, 8);
+    k.countedLoop("loop", static_cast<std::int64_t>(4000 * scale), [&] {
+        k.memLoad(4, kZero, 0);
+        k.memLoad(5, kZero, 8);
+        k.memStore(5, kZero, 0);
+        k.b.add(6, 4, 5);
+        k.memStore(6, kZero, 8);
+    });
+    k.b.mov(kAcc, 6);
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildSieve(Mode mode, std::uint64_t scale)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 0);
+    // Repeatedly "mark multiples": for p in outer, clear every p-th byte.
+    k.countedLoop("outer", static_cast<std::int64_t>(40 * scale), [&] {
+        k.b.addi(4, kIter, 2); // stride
+        k.b.movi(kOff, 0);
+        k.b.movi(10, 800); // inner iterations
+        k.b.label("inner");
+        k.memStore(kZero, kOff, 0, 1);
+        k.b.add(kOff, kOff, 4);
+        k.b.addi(kAcc, kAcc, 1);
+        k.b.subi(10, 10, 1);
+        k.b.bne(10, kZero, "inner");
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildMemmove(Mode mode, std::uint64_t scale)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 0);
+    k.countedLoop("pass", static_cast<std::int64_t>(55 * scale), [&] {
+        k.b.movi(kOff, 0);
+        k.b.movi(10, 448); // stay within the staged 4 KiB of data
+        k.b.label("copy");
+        k.memLoad(4, kOff, 8);
+        k.memStore(4, kOff, 0);
+        k.b.addi(kOff, kOff, 8);
+        k.b.subi(10, 10, 1);
+        k.b.bne(10, kZero, "copy");
+        k.b.add(kAcc, kAcc, 4);
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildNestedloop(Mode mode, std::uint64_t scale)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 1);
+    k.countedLoop("outer", static_cast<std::int64_t>(300 * scale), [&] {
+        k.b.movi(10, 160);
+        k.b.label("inner");
+        k.b.add(kAcc, kAcc, 10);
+        k.b.xor_(kAcc, kAcc, kIter);
+        k.b.shli(4, kAcc, 1);
+        k.b.add(kAcc, kAcc, 4);
+        k.b.subi(10, 10, 1);
+        k.b.bne(10, kZero, "inner");
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildRandom(Mode mode, std::uint64_t scale)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 0);
+    k.b.movi(4, 0); // current slot
+    k.countedLoop("walk", static_cast<std::int64_t>(20000 * scale), [&] {
+        k.b.shli(5, 4, 3);
+        k.memLoad(4, 5, 0); // next = table[cur] (dependent chain)
+        k.b.add(kAcc, kAcc, 4);
+        k.b.andi(4, 4, 1023);
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildCtype(Mode mode, std::uint64_t scale)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 0);
+    k.b.movi(kOff, 0);
+    k.countedLoop("scan", static_cast<std::int64_t>(30000 * scale), [&] {
+        k.memLoad(4, kOff, 0, 1); // the character
+        k.b.andi(5, 4, 0xff);
+        k.memLoad(6, 5, 2048, 1); // table lookup
+        k.b.add(kAcc, kAcc, 6);
+        k.b.addi(kOff, kOff, 1);
+        k.b.andi(kOff, kOff, 2047);
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildBase64(Mode mode, std::uint64_t scale)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 0);
+    k.b.movi(kOff, 0);
+    k.countedLoop("enc", static_cast<std::int64_t>(8000 * scale), [&] {
+        k.memLoad(4, kOff, 0, 1);
+        k.memLoad(5, kOff, 1, 1);
+        k.memLoad(6, kOff, 2, 1);
+        k.b.shli(4, 4, 16);
+        k.b.shli(5, 5, 8);
+        k.b.or_(7, 4, 5);
+        k.b.or_(7, 7, 6);
+        k.b.shri(8, 7, 18);
+        k.b.andi(8, 8, 63);
+        k.memStore(8, kOff, 1024, 1);
+        k.b.shri(8, 7, 12);
+        k.b.andi(8, 8, 63);
+        k.memStore(8, kOff, 1025, 1);
+        k.b.shri(8, 7, 6);
+        k.b.andi(8, 8, 63);
+        k.memStore(8, kOff, 1026, 1);
+        k.b.andi(8, 7, 63);
+        k.memStore(8, kOff, 1027, 1);
+        k.b.add(kAcc, kAcc, 7);
+        k.b.addi(kOff, kOff, 3);
+        k.b.andi(kOff, kOff, 1023);
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+/** Shared shape of the permutation kernels (keccak/gimli/blake3). */
+Program
+buildPermutation(Mode mode, std::uint64_t scale, unsigned words,
+                 unsigned rot, std::int64_t iters)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 0);
+    k.countedLoop("perm", iters * static_cast<std::int64_t>(scale), [&] {
+        for (unsigned w = 0; w + 1 < words; w += 2) {
+            const std::int64_t at = static_cast<std::int64_t>(w) * 8;
+            k.memLoad(4, kZero, at);
+            k.memLoad(5, kZero, at + 8);
+            k.b.add(4, 4, 5);
+            k.rotl(6, 4, rot + (w % 3), 7, 8);
+            k.b.xor_(5, 5, 6);
+            k.memStore(4, kZero, at);
+            k.memStore(5, kZero, at + 8);
+            k.b.add(kAcc, kAcc, 5);
+        }
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildKeccak(Mode mode, std::uint64_t scale)
+{
+    return buildPermutation(mode, scale, 24, 7, 250);
+}
+
+Program
+buildGimli(Mode mode, std::uint64_t scale)
+{
+    return buildPermutation(mode, scale, 12, 9, 550);
+}
+
+Program
+buildBlake3(Mode mode, std::uint64_t scale)
+{
+    return buildPermutation(mode, scale, 16, 12, 400);
+}
+
+/** Shared shape of the stream ciphers (xchacha20/xblabla20). */
+Program
+buildCipher(Mode mode, std::uint64_t scale, unsigned r1, unsigned r2)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 0);
+    k.b.movi(kOff, 0);
+    k.countedLoop("block", static_cast<std::int64_t>(2500 * scale), [&] {
+        k.memLoad(4, kOff, 0);
+        k.memLoad(5, kOff, 8);
+        k.b.add(4, 4, 5);
+        k.b.xor_(5, 5, 4);
+        k.rotl(5, 5, r1, 7, 8);
+        k.b.add(4, 4, 5);
+        k.b.xor_(5, 5, 4);
+        k.rotl(5, 5, r2, 7, 8);
+        k.memLoad(6, kOff, 512);
+        k.b.xor_(6, 6, 5);
+        k.memStore(6, kOff, 512);
+        k.b.add(kAcc, kAcc, 6);
+        k.b.addi(kOff, kOff, 16);
+        k.b.andi(kOff, kOff, 511);
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildXchacha20(Mode mode, std::uint64_t scale)
+{
+    return buildCipher(mode, scale, 16, 12);
+}
+
+Program
+buildXblabla20(Mode mode, std::uint64_t scale)
+{
+    return buildCipher(mode, scale, 32, 24);
+}
+
+Program
+buildSwitch(Mode mode, std::uint64_t scale)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 1);
+    k.b.movi(kOff, 0);
+    k.countedLoop("dispatch", static_cast<std::int64_t>(12000 * scale),
+                  [&] {
+        k.memLoad(4, kOff, 0, 1); // opcode
+        k.b.andi(4, 4, 3);
+        k.b.movi(5, 1);
+        k.b.beq(4, 5, "case1");
+        k.b.movi(5, 2);
+        k.b.beq(4, 5, "case2");
+        k.b.movi(5, 3);
+        k.b.beq(4, 5, "case3");
+        k.b.addi(kAcc, kAcc, 7); // case 0
+        k.b.jmp("done");
+        k.b.label("case1");
+        k.b.shli(kAcc, kAcc, 1);
+        k.b.jmp("done");
+        k.b.label("case2");
+        k.b.xor_(kAcc, kAcc, 4);
+        k.b.jmp("done");
+        k.b.label("case3");
+        k.b.subi(kAcc, kAcc, 3);
+        k.b.label("done");
+        k.b.addi(kOff, kOff, 1);
+        k.b.andi(kOff, kOff, 2047);
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildMinicsv(Mode mode, std::uint64_t scale)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 0);
+    k.b.movi(kOff, 0);
+    k.b.movi(6, 0); // current field value
+    k.countedLoop("scan", static_cast<std::int64_t>(25000 * scale), [&] {
+        k.memLoad(4, kOff, 0, 1);
+        k.b.movi(5, ',');
+        k.b.beq(4, 5, "field_end");
+        k.b.shli(6, 6, 1);
+        k.b.add(6, 6, 4);
+        k.b.jmp("next");
+        k.b.label("field_end");
+        k.b.add(kAcc, kAcc, 6);
+        k.b.movi(6, 0);
+        k.b.label("next");
+        k.b.addi(kOff, kOff, 1);
+        k.b.andi(kOff, kOff, 2047);
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildRatelimit(Mode mode, std::uint64_t scale)
+{
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 0);
+    k.b.movi(4, 12345); // key rng
+    k.countedLoop("req", static_cast<std::int64_t>(15000 * scale), [&] {
+        // key = rng % 256; slot = key * 16
+        k.b.movi(5, 1103515245);
+        k.b.mul(4, 4, 5);
+        k.b.addi(4, 4, 12345);
+        k.b.shri(5, 4, 16);
+        k.b.andi(5, 5, 255);
+        k.b.shli(5, 5, 4);
+        k.memLoad(6, 5, 0);  // tokens
+        k.memLoad(7, 5, 8);  // last tick
+        k.b.addi(6, 6, 1);
+        k.b.andi(6, 6, 15);
+        k.b.beq(6, kZero, "deny");
+        k.b.addi(kAcc, kAcc, 1);
+        k.b.label("deny");
+        k.memStore(6, 5, 0);
+        k.memStore(kIter, 5, 8);
+        k.b.add(kAcc, kAcc, 7);
+    });
+    k.epilogue();
+    return k.b.build();
+}
+
+Program
+buildAckermann(Mode mode, std::uint64_t scale)
+{
+    // Deep call/ret recursion with an explicit memory stack: exercises
+    // the RSB and call/return bandwidth.
+    KernelAsm k(mode);
+    k.prologue();
+    k.b.movi(kAcc, 0);
+    k.countedLoop("outer", static_cast<std::int64_t>(400 * scale), [&] {
+        k.b.movi(4, 24); // recursion depth
+        k.b.movi(kOff, 0);
+        k.b.call("recurse");
+        k.b.add(kAcc, kAcc, 5);
+    });
+    k.b.jmp("after");
+
+    // recurse(depth r4): spills to the memory stack, recurses, unwinds.
+    k.b.label("recurse");
+    k.b.beq(4, kZero, "base");
+    k.memStore(4, kOff, 4096);
+    k.memStore(kLinkReg, kOff, 8192);
+    k.b.addi(kOff, kOff, 8);
+    k.b.subi(4, 4, 1);
+    k.b.call("recurse");
+    k.b.subi(kOff, kOff, 8);
+    k.memLoad(4, kOff, 4096);
+    k.memLoad(kLinkReg, kOff, 8192);
+    k.b.add(5, 5, 4);
+    k.b.ret();
+    k.b.label("base");
+    k.b.movi(5, 1);
+    k.b.ret();
+
+    k.b.label("after");
+    k.epilogue();
+    return k.b.build();
+}
+
+} // namespace
+
+const std::vector<Kernel> &
+suite()
+{
+    static const std::vector<Kernel> kSuite = {
+        {"blake3-scalar", buildBlake3, stageBytes},
+        {"ackermann", buildAckermann, stageNothing},
+        {"base64", buildBase64, stageBytes},
+        {"ctype", buildCtype, stageBytes},
+        {"fib2", buildFib2, stageNothing},
+        {"gimli", buildGimli, stageBytes},
+        {"keccak", buildKeccak, stageBytes},
+        {"memmove", buildMemmove, stageBytes},
+        {"minicsv", buildMinicsv, stageBytes},
+        {"nestedloop", buildNestedloop, stageNothing},
+        {"random", buildRandom, stageTable},
+        {"ratelimit", buildRatelimit, stageNothing},
+        {"sieve", buildSieve, stageNothing},
+        {"switch", buildSwitch, stageBytes},
+        {"xblabla20", buildXblabla20, stageBytes},
+        {"xchacha20", buildXchacha20, stageBytes},
+    };
+    return kSuite;
+}
+
+} // namespace hfi::sim::kernels

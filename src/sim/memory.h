@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sparse byte-addressable memory for the pipeline simulator. Pages are
+ * allocated on first touch and read as zero before any write, so
+ * programs can assume a zeroed address space like a fresh mmap.
+ */
+
+#ifndef HFI_SIM_MEMORY_H
+#define HFI_SIM_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+
+namespace hfi::sim
+{
+
+class SimMemory
+{
+  public:
+    static constexpr std::uint64_t kPageBytes = 4096;
+
+    /** Read @p width (1/2/4/8) bytes, little-endian, zero-extended. */
+    std::uint64_t
+    read(std::uint64_t addr, unsigned width) const
+    {
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < width; ++i)
+            value |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+        return value;
+    }
+
+    /** Write the low @p width bytes of @p value, little-endian. */
+    void
+    write(std::uint64_t addr, std::uint64_t value, unsigned width)
+    {
+        for (unsigned i = 0; i < width; ++i)
+            writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+
+    std::uint8_t
+    readByte(std::uint64_t addr) const
+    {
+        const auto it = pages.find(addr / kPageBytes);
+        if (it == pages.end())
+            return 0;
+        return it->second[addr % kPageBytes];
+    }
+
+    void
+    writeByte(std::uint64_t addr, std::uint8_t value)
+    {
+        pages[addr / kPageBytes][addr % kPageBytes] = value;
+    }
+
+    /** Bulk helpers for staging test data. */
+    void
+    writeBytes(std::uint64_t addr, const void *src, std::uint64_t len)
+    {
+        const auto *bytes = static_cast<const std::uint8_t *>(src);
+        for (std::uint64_t i = 0; i < len; ++i)
+            writeByte(addr + i, bytes[i]);
+    }
+
+    std::size_t touchedPages() const { return pages.size(); }
+
+  private:
+    std::unordered_map<std::uint64_t, std::array<std::uint8_t, kPageBytes>>
+        pages;
+};
+
+} // namespace hfi::sim
+
+#endif // HFI_SIM_MEMORY_H

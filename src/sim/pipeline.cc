@@ -1,0 +1,572 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hfi::sim
+{
+
+std::uint64_t
+Pipeline::SpecMemView::load(std::uint64_t addr, unsigned width)
+{
+    // Committed memory, then forward bytes from older in-flight stores
+    // (oldest to youngest so the youngest write wins).
+    std::uint64_t value = pipe.mem.read(addr, width);
+    for (const StoreEntry &s : pipe.storeQueue) {
+        if (s.seq >= seq)
+            break;
+        for (unsigned i = 0; i < width; ++i) {
+            const std::uint64_t byte_addr = addr + i;
+            if (byte_addr >= s.addr && byte_addr < s.addr + s.width) {
+                const auto byte = static_cast<std::uint64_t>(
+                    (s.value >> (8 * (byte_addr - s.addr))) & 0xff);
+                value = (value & ~(0xffULL << (8 * i))) | (byte << (8 * i));
+            }
+        }
+    }
+    return value;
+}
+
+void
+Pipeline::SpecMemView::store(std::uint64_t addr, std::uint64_t value,
+                             unsigned width)
+{
+    pipe.storeQueue.push_back(
+        {seq, addr, value, static_cast<std::uint8_t>(width)});
+}
+
+Pipeline::Pipeline(Program program, CpuConfig config)
+    : program(std::move(program)), config_(config), icache_(config.icache),
+      dcache_(config.dcache), dtb_(config.dtb), predictor_(config.predictor),
+      aluFree(config.intAluCount, 0), mulFree(config.intMultCount, 0),
+      memFree(config.memPortCount, 0)
+{
+    archState.pc = this->program.base();
+}
+
+bool
+Pipeline::willSerialize(const Inst &inst) const
+{
+    switch (inst.op) {
+      case Opcode::Cpuid:
+        return true;
+      case Opcode::HfiEnter:
+        return (inst.imm & 2) != 0;
+      case Opcode::HfiExit:
+        // A switch-on-exit exit is a register-bank swap, not a
+        // serialization point (§4.5).
+        return specState.hfi.enabled &&
+               !specState.hfi.config.switchOnExit &&
+               specState.hfi.config.isSerialized;
+      case Opcode::HfiSetRegion:
+      case Opcode::HfiClearRegion:
+        // §4.3: region updates serialize inside a hybrid sandbox.
+        return specState.hfi.enabled;
+      case Opcode::Syscall:
+        return specState.hfi.enabled && !specState.hfi.config.isHybrid &&
+               specState.hfi.config.isSerialized;
+      default:
+        return false;
+    }
+}
+
+std::uint64_t
+Pipeline::allocateIssue(std::uint64_t earliest, const Inst &inst,
+                        unsigned *unit_latency)
+{
+    std::vector<std::uint64_t> *units = &aluFree;
+    unsigned latency = config_.aluLatency;
+    std::uint64_t occupancy = 1; // fully pipelined by default
+    switch (inst.op) {
+      case Opcode::Mul:
+        units = &mulFree;
+        latency = config_.mulLatency;
+        break;
+      case Opcode::Div:
+        units = &mulFree;
+        latency = config_.divLatency;
+        occupancy = config_.divLatency; // unpipelined divider
+        break;
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::HmovLoad:
+      case Opcode::HmovStore:
+        units = &memFree;
+        latency = 1; // AGU cycle; cache latency added by the caller
+        break;
+      default:
+        break;
+    }
+
+    std::uint64_t t = earliest;
+    while (true) {
+        // Issue-width limit this cycle?
+        auto slot = issueSlots.find(t);
+        if (slot != issueSlots.end() && slot->second >= config_.issueWidth) {
+            ++t;
+            continue;
+        }
+        // A free unit of the right kind?
+        std::uint64_t *best = nullptr;
+        for (std::uint64_t &free_at : *units) {
+            if (free_at <= t && (!best || free_at < *best))
+                best = &free_at;
+        }
+        if (!best) {
+            std::uint64_t soonest = UINT64_MAX;
+            for (std::uint64_t free_at : *units)
+                soonest = std::min(soonest, free_at);
+            t = std::max(t + 1, soonest);
+            continue;
+        }
+        *best = t + occupancy;
+        ++issueSlots[t];
+        *unit_latency = latency;
+        return t;
+    }
+}
+
+void
+Pipeline::fetchStage()
+{
+    if (fetchHalted || cycle < fetchStallUntil)
+        return;
+
+    unsigned budget = config_.fetchBytes;
+    while (budget > 0 && decodeQueue.size() < config_.decodeQueueDepth) {
+        const Inst *inst = program.at(fetchPc);
+        if (!inst) {
+            fetchHalted = true;
+            return;
+        }
+        if (inst->length > budget)
+            return;
+
+        const CacheAccess ic = icache_.access(fetchPc);
+        if (!ic.hit) {
+            fetchStallUntil = cycle + ic.latency;
+            return;
+        }
+        budget -= inst->length;
+        // hmov's prefix is a length-changing prefix to the predecoder:
+        // it costs extra predecode throughput (the Skylake LCP stall),
+        // modeled as additional consumed fetch bytes.
+        if (inst->op == Opcode::HmovLoad || inst->op == Opcode::HmovStore)
+            budget -= std::min<unsigned>(budget, 3);
+
+        // Predict the next fetch address.
+        std::uint64_t next = fetchPc + inst->length;
+        if (isConditionalBranch(inst->op)) {
+            if (predictor_.predictDirection(fetchPc))
+                next = inst->target;
+        } else if (inst->op == Opcode::Jmp) {
+            next = inst->target;
+        } else if (inst->op == Opcode::Call) {
+            predictor_.pushReturn(fetchPc + inst->length);
+            next = inst->target;
+        } else if (inst->op == Opcode::Ret) {
+            next = predictor_.popReturn(); // 0 = unpredictable
+        }
+
+        decodeQueue.push_back({inst, fetchPc, next});
+        ++stats_.fetched;
+        fetchPc = next;
+        if (next == 0) {
+            // Unpredictable target: fetch stalls until resolution
+            // redirects us.
+            fetchHalted = true;
+            return;
+        }
+    }
+}
+
+void
+Pipeline::dispatchStage()
+{
+    unsigned budget = config_.decodeWidth;
+    while (budget > 0 && !decodeQueue.empty() && !serializePending &&
+           rob.size() < config_.robSize) {
+        const FetchedInst f = decodeQueue.front();
+        const Inst &inst = *f.inst;
+
+        // Decode-stage code-region check (§4.1): out-of-region
+        // instructions become faulting NOPs and never execute,
+        // speculatively or otherwise.
+        const core::CheckResult fetch_check =
+            core::AccessChecker::checkFetch(specState.hfi, f.pc);
+        if (!fetch_check.ok) {
+            RobEntry e;
+            e.inst = f.inst;
+            e.pc = f.pc;
+            e.seq = seqCounter++;
+            e.predictedNext = f.predictedNext;
+            e.info.faulted = true;
+            e.info.faultReason = fetch_check.reason;
+            e.info.nextPc = f.pc;
+            e.completeCycle = cycle + 1;
+            rob.push_back(e);
+            decodeQueue.pop_front();
+            --budget;
+            ++stats_.dispatched;
+            continue;
+        }
+
+        if (willSerialize(inst) && !rob.empty())
+            break; // drain before a serializing instruction
+
+        const bool is_load =
+            inst.op == Opcode::Load || inst.op == Opcode::HmovLoad;
+        const bool is_store =
+            inst.op == Opcode::Store || inst.op == Opcode::HmovStore;
+        if (is_load && loadsInFlight >= config_.lqSize)
+            break;
+        if (is_store && storeQueue.size() >= config_.sqSize)
+            break;
+
+        // Poison gating (§4.1): if any input register descends from a
+        // faulted access, this instruction will never actually issue,
+        // so its side effects (cache fills in particular) must not
+        // happen and its destination stays poisoned.
+        bool inputs_poisoned = false;
+        {
+            auto tainted = [&](unsigned reg) {
+                inputs_poisoned = inputs_poisoned || poisoned[reg];
+            };
+            switch (inst.op) {
+              case Opcode::Movi:
+                break;
+              case Opcode::Ret:
+                tainted(kLinkReg);
+                break;
+              case Opcode::HmovLoad:
+              case Opcode::HmovStore:
+                if (inst.useIndex)
+                    tainted(inst.rb);
+                if (inst.op == Opcode::HmovStore)
+                    tainted(inst.rd);
+                break;
+              case Opcode::Load:
+              case Opcode::Store:
+                tainted(inst.ra);
+                if (inst.useIndex)
+                    tainted(inst.rb);
+                if (inst.op == Opcode::Store)
+                    tainted(inst.rd);
+                break;
+              default:
+                tainted(inst.ra);
+                if (!inst.useImm)
+                    tainted(inst.rb);
+                break;
+            }
+        }
+
+        const std::uint64_t seq = seqCounter++;
+        SpecMemView view(*this, seq);
+        const ExecInfo info =
+            FunctionalCore::execute(inst, f.pc, specState, view);
+#ifdef HFI_SIM_DEBUG_DCACHE
+        if (inst.op == Opcode::HfiExit || inst.op == Opcode::HfiEnter ||
+            (isMemory(inst.op) && info.memAddr >= 0x300000 &&
+             info.memAddr < 0x301000)) {
+            std::fprintf(stderr,
+                         "dispatch %s pc=%#lx seq=%lu cycle=%lu hfi=%d "
+                         "addr=%#lx faulted=%d\n",
+                         opcodeName(inst.op), f.pc, seq, cycle,
+                         (int)specState.hfi.enabled, info.memAddr,
+                         (int)info.faulted);
+        }
+#endif
+
+        RobEntry e;
+        e.inst = f.inst;
+        e.pc = f.pc;
+        e.seq = seq;
+        e.predictedNext = f.predictedNext;
+        e.info = info;
+        e.isLoad = is_load;
+        e.isStore = is_store;
+        if (is_load)
+            ++loadsInFlight;
+
+        // Source-operand readiness.
+        std::uint64_t src_ready = cycle + 1;
+        auto need = [&](unsigned reg) {
+            src_ready = std::max(src_ready, regReadyAt[reg]);
+        };
+        switch (inst.op) {
+          case Opcode::Movi:
+            break;
+          case Opcode::Ret:
+            need(kLinkReg);
+            break;
+          case Opcode::HfiEnter:
+            need(kExitHandlerReg);
+            break;
+          case Opcode::HmovLoad:
+          case Opcode::HmovStore:
+            if (inst.useIndex)
+                need(inst.rb);
+            if (inst.op == Opcode::HmovStore)
+                need(inst.rd);
+            break;
+          case Opcode::Load:
+          case Opcode::Store:
+            need(inst.ra);
+            if (inst.useIndex)
+                need(inst.rb);
+            if (inst.op == Opcode::Store)
+                need(inst.rd);
+            break;
+          case Opcode::HfiSetRegion:
+            need(inst.ra);
+            need(inst.rb);
+            break;
+          default:
+            need(inst.ra);
+            if (!inst.useImm)
+                need(inst.rb);
+            break;
+        }
+
+        unsigned unit_latency = 1;
+        const std::uint64_t issue_at =
+            allocateIssue(src_ready, inst, &unit_latency);
+        std::uint64_t latency = unit_latency;
+
+        if (info.isMem && !info.faulted && !inputs_poisoned) {
+            // dtb lookup and HFI check run in parallel (§4.2); the
+            // dcache access proceeds — speculatively — because the
+            // check passed.
+            const TlbAccess t = dtb_.access(info.memAddr);
+            if (is_load) {
+                const CacheAccess c = dcache_.access(info.memAddr);
+#ifdef HFI_SIM_DEBUG_DCACHE
+                if (info.memAddr >= 0x200000 && info.memAddr < 0x220000) {
+                    std::fprintf(stderr,
+                                 "dcache load pc=%#lx seq=%lu addr=%#lx hfi=%d\n",
+                                 e.pc, e.seq, info.memAddr,
+                                 (int)specState.hfi.enabled);
+                }
+#endif
+                latency = t.latency + c.latency;
+            } else {
+                latency = std::max(1u, t.latency);
+            }
+            if (specState.hfi.enabled)
+                ++stats_.hfiDataChecks;
+        } else if (info.isMem && inputs_poisoned && !info.faulted) {
+            // The address descends from faulted data: the access never
+            // issues, so neither the dcache nor the dtb observes it.
+            latency = 1;
+        } else if (info.isMem && info.faulted) {
+            // §4.1: the failed check blocks the *data-cache* fill, but
+            // the dtb may still observe the address; no data moves.
+            if (info.memAddr)
+                dtb_.access(info.memAddr);
+            latency = 1;
+        }
+
+        // Un-lamination: a load/store that combines an index register
+        // with a 32-bit displacement (the emulation's fixed-base form,
+        // appendix A.2) splits into an address-generation µop plus the
+        // memory µop — an extra issue slot and a periodic replay cycle.
+        // hmov does not pay this: the region base comes from the region
+        // register at register-read (§4.2).
+        if ((inst.op == Opcode::Load || inst.op == Opcode::Store) &&
+            inst.useIndex && (inst.imm > 0x7fff || inst.imm < -0x8000)) {
+            ++issueSlots[issue_at]; // the companion AGU µop's slot
+            latency += (seq & 3) == 0 ? 1 : 0; // periodic replay cycle
+        }
+
+        if (info.isFlush)
+            dcache_.flush(info.memAddr);
+
+        if (info.serializes) {
+            latency += config_.serializeFlushCycles;
+            serializePending = true;
+            serializeSeq = seq;
+            ++stats_.serializations;
+        }
+
+        e.completeCycle = issue_at + std::max<std::uint64_t>(latency, 1);
+
+        // Destination readiness.
+        const bool writes_rd =
+            !info.faulted &&
+            (inst.op == Opcode::Load || inst.op == Opcode::HmovLoad ||
+             (!is_store && !isControl(inst.op) && inst.op != Opcode::Nop &&
+              inst.op != Opcode::Halt && inst.op != Opcode::Syscall &&
+              inst.op != Opcode::HfiEnter && inst.op != Opcode::HfiExit &&
+              inst.op != Opcode::HfiSetRegion &&
+              inst.op != Opcode::HfiClearRegion));
+        if (writes_rd) {
+            regReadyAt[inst.rd] = e.completeCycle;
+            // Poison propagates through dataflow; a clean producer
+            // clears it.
+            poisoned[inst.rd] = inputs_poisoned;
+        }
+        if ((inst.op == Opcode::Load || inst.op == Opcode::HmovLoad) &&
+            info.faulted) {
+            poisoned[inst.rd] = true;
+        }
+        if (inst.op == Opcode::Call)
+            regReadyAt[kLinkReg] = e.completeCycle;
+        if (inst.op == Opcode::Cpuid) {
+            regReadyAt[12] = e.completeCycle;
+            regReadyAt[13] = e.completeCycle;
+        }
+
+        e.mispredicted = !info.faulted && info.nextPc != f.predictedNext;
+        if (isControl(inst.op) || info.isSyscall || e.mispredicted ||
+            f.predictedNext == 0) {
+            e.hasSnapshot = true;
+            e.snapshot = specState;
+            e.regReadySnapshot = regReadyAt;
+            e.poisonSnapshot = poisoned;
+        }
+
+        rob.push_back(e);
+        decodeQueue.pop_front();
+        // hmov's prefix byte behaves like a length-changing prefix in
+        // the predecoder: it occupies an extra decode slot (the Skylake
+        // LCP effect) — the µ-architectural cost behind §6.1's gobmk
+        // observation, and one the compiler emulation cannot mimic.
+        if (inst.op == Opcode::HmovLoad || inst.op == Opcode::HmovStore)
+            budget -= budget > 1 ? 1 : 0;
+        --budget;
+        ++stats_.dispatched;
+    }
+}
+
+void
+Pipeline::squashAfter(std::size_t rob_index)
+{
+    const std::uint64_t boundary_seq = rob[rob_index].seq;
+    for (std::size_t i = rob_index + 1; i < rob.size(); ++i) {
+        ++stats_.squashed;
+        if (rob[i].info.faulted)
+            ++stats_.hfiFaultsSuppressed;
+        if (rob[i].isLoad)
+            --loadsInFlight;
+    }
+    rob.erase(rob.begin() + static_cast<std::ptrdiff_t>(rob_index) + 1,
+              rob.end());
+    while (!storeQueue.empty() && storeQueue.back().seq > boundary_seq)
+        storeQueue.pop_back();
+    if (serializePending && serializeSeq > boundary_seq)
+        serializePending = false;
+}
+
+void
+Pipeline::resolveStage()
+{
+    for (std::size_t i = 0; i < rob.size(); ++i) {
+        RobEntry &e = rob[i];
+        if (e.resolved || e.completeCycle > cycle)
+            continue;
+        e.resolved = true;
+
+        if (e.inst && isConditionalBranch(e.inst->op) && !e.info.faulted)
+            predictor_.updateDirection(e.pc, e.info.branchTaken);
+
+        if (e.mispredicted) {
+            ++stats_.mispredicts;
+            predictor_.countMispredict();
+            // Recover state and redirect fetch down the correct path.
+            specState = e.snapshot;
+            regReadyAt = e.regReadySnapshot;
+            poisoned = e.poisonSnapshot;
+            squashAfter(i);
+            decodeQueue.clear();
+            fetchPc = e.info.nextPc;
+            fetchStallUntil = cycle + config_.redirectPenalty;
+            fetchHalted = false;
+            return;
+        }
+    }
+}
+
+void
+Pipeline::commitStage(PipelineResult &result, bool *done)
+{
+    unsigned budget = config_.commitWidth;
+    while (budget > 0 && !rob.empty()) {
+        RobEntry &e = rob.front();
+        if (e.completeCycle >= cycle || !e.resolved)
+            break;
+
+        if (e.info.faulted) {
+            result.faulted = true;
+            result.faultReason = e.info.faultReason;
+            result.faultPc = e.pc;
+            *done = true;
+            return;
+        }
+
+        if (e.isStore && !storeQueue.empty() &&
+            storeQueue.front().seq == e.seq) {
+            const StoreEntry &s = storeQueue.front();
+            mem.write(s.addr, s.value, s.width);
+            dcache_.access(s.addr); // write-allocate at commit
+            storeQueue.erase(storeQueue.begin());
+        }
+        if (e.isLoad)
+            --loadsInFlight;
+
+        if (serializePending && serializeSeq == e.seq)
+            serializePending = false;
+
+        const bool halted = e.info.halted;
+        rob.pop_front();
+        ++stats_.committed;
+        --budget;
+
+        if (halted) {
+            result.halted = true;
+            *done = true;
+            return;
+        }
+    }
+}
+
+PipelineResult
+Pipeline::run(std::uint64_t max_cycles)
+{
+    PipelineResult result;
+    specState = archState;
+    fetchPc = archState.pc;
+    fetchHalted = false;
+    fetchStallUntil = 0;
+
+    bool done = false;
+    while (!done && cycle < max_cycles) {
+        commitStage(result, &done);
+        if (done)
+            break;
+        resolveStage();
+        dispatchStage();
+        fetchStage();
+        ++cycle;
+
+        // Keep the issue-slot map from growing without bound.
+        if ((cycle & 0xfff) == 0) {
+            for (auto it = issueSlots.begin(); it != issueSlots.end();) {
+                if (it->first + 8192 < cycle)
+                    it = issueSlots.erase(it);
+                else
+                    ++it;
+            }
+        }
+
+        if (fetchHalted && decodeQueue.empty() && rob.empty())
+            break; // ran off the end of the program
+    }
+
+    result.cycles = cycle;
+    result.instructions = stats_.committed;
+    archState = specState;
+    return result;
+}
+
+} // namespace hfi::sim

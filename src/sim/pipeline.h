@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The cycle-level out-of-order core — our stand-in for the paper's gem5
+ * Skylake model (§5.2, Table 2), with the HFI µ-architecture of §4.
+ *
+ * Model summary:
+ *
+ *  - Fetch follows branch prediction (2-bit PHT direction, RSB returns)
+ *    at 16 bytes/cycle through the icache; variable instruction lengths
+ *    make hmov's prefix byte cost real fetch bandwidth.
+ *  - Instructions execute *functionally at dispatch* against a
+ *    speculative ArchState (wrong-path instructions therefore compute
+ *    with real values — required for the Spectre experiments), while
+ *    issue/complete timing is modeled with a scoreboard over the ROB,
+ *    issue-width and functional-unit constraints, and load latencies
+ *    from the dtb + dcache.
+ *  - Speculative loads access (and fill) the dcache — *unless* their
+ *    HFI region check failed, in which case the access is turned into
+ *    a faulting NOP that touches no cache state (§4.1); the dtb may
+ *    still be touched, matching the paper's weaker i-cache/dtb
+ *    invariant.
+ *  - Speculative stores sit in the store queue and drain to memory at
+ *    commit; younger loads forward from them byte-wise.
+ *  - A mispredicted branch squashes younger entries at resolution,
+ *    restores the register/HFI state snapshot taken at the branch, and
+ *    redirects fetch after a refill penalty.
+ *  - Serializing instructions (cpuid, serialized hfi_enter/hfi_exit,
+ *    region updates inside a hybrid sandbox) drain the ROB before
+ *    dispatch and add a flush cost — §3.4's 30-60-cycle price.
+ */
+
+#ifndef HFI_SIM_PIPELINE_H
+#define HFI_SIM_PIPELINE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/branch_predictor.h"
+#include "sim/cache.h"
+#include "sim/cpu_config.h"
+#include "sim/functional.h"
+#include "sim/memory.h"
+#include "sim/program.h"
+#include "sim/tlb.h"
+
+namespace hfi::sim
+{
+
+/** Outcome of a pipeline run. */
+struct PipelineResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0; ///< committed
+    bool halted = false;            ///< reached Halt / exit_group
+    bool faulted = false;
+    core::ExitReason faultReason = core::ExitReason::None;
+    std::uint64_t faultPc = 0;
+};
+
+/** Microarchitectural event counters. */
+struct PipelineStats
+{
+    std::uint64_t fetched = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t squashed = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t serializations = 0;
+    std::uint64_t hfiDataChecks = 0;
+    std::uint64_t hfiFaultsSuppressed = 0; ///< wrong-path faults squashed
+};
+
+class Pipeline
+{
+  public:
+    /** The program is copied: the pipeline owns its code image. */
+    explicit Pipeline(Program program, CpuConfig config = {});
+
+    /** Architectural input state (set registers before run()). */
+    ArchState &state() { return archState; }
+
+    SimMemory &memory() { return mem; }
+
+    /** Run until Halt, a committed fault, or @p max_cycles. */
+    PipelineResult run(std::uint64_t max_cycles = 1'000'000'000);
+
+    Cache &dcache() { return dcache_; }
+    Cache &icache() { return icache_; }
+    Tlb &dtb() { return dtb_; }
+    BranchPredictor &predictor() { return predictor_; }
+    const PipelineStats &stats() const { return stats_; }
+    const CpuConfig &config() const { return config_; }
+
+  private:
+    struct StoreEntry
+    {
+        std::uint64_t seq;
+        std::uint64_t addr;
+        std::uint64_t value;
+        std::uint8_t width;
+    };
+
+    struct RobEntry
+    {
+        const Inst *inst = nullptr;
+        std::uint64_t pc = 0;
+        std::uint64_t seq = 0;
+        std::uint64_t predictedNext = 0;
+        ExecInfo info{};
+        bool mispredicted = false;
+        bool resolved = false;
+        bool isLoad = false;
+        bool isStore = false;
+        std::uint64_t completeCycle = 0;
+        /** Recovery snapshots, kept only on redirect-capable entries. */
+        bool hasSnapshot = false;
+        ArchState snapshot{};
+        std::array<std::uint64_t, kNumRegs> regReadySnapshot{};
+        std::array<bool, kNumRegs> poisonSnapshot{};
+    };
+
+    /** MemView that buffers stores in the store queue. */
+    class SpecMemView : public MemView
+    {
+      public:
+        SpecMemView(Pipeline &pipe, std::uint64_t seq)
+            : pipe(pipe), seq(seq)
+        {
+        }
+
+        std::uint64_t load(std::uint64_t addr, unsigned width) override;
+        void store(std::uint64_t addr, std::uint64_t value,
+                   unsigned width) override;
+
+      private:
+        Pipeline &pipe;
+        std::uint64_t seq;
+    };
+
+    struct FetchedInst
+    {
+        const Inst *inst;
+        std::uint64_t pc;
+        std::uint64_t predictedNext;
+    };
+
+    void commitStage(PipelineResult &result, bool *done);
+    void resolveStage();
+    void dispatchStage();
+    void fetchStage();
+
+    /** Would dispatching @p inst under @p state serialize? */
+    bool willSerialize(const Inst &inst) const;
+
+    /** Earliest issue cycle respecting slots + a unit of @p kind. */
+    std::uint64_t allocateIssue(std::uint64_t earliest, const Inst &inst,
+                                unsigned *unit_latency);
+
+    void squashAfter(std::size_t rob_index);
+
+    Program program;
+    CpuConfig config_;
+
+    SimMemory mem;
+    ArchState archState;  ///< committed architectural state (regs lazily
+                          ///< tracked via specState; used at recovery end)
+    ArchState specState;  ///< dispatch-time speculative state
+
+    Cache icache_;
+    Cache dcache_;
+    Tlb dtb_;
+    BranchPredictor predictor_;
+
+    std::deque<FetchedInst> decodeQueue;
+    std::deque<RobEntry> rob;
+    std::vector<StoreEntry> storeQueue; ///< uncommitted stores, seq order
+    unsigned loadsInFlight = 0;
+
+    std::array<std::uint64_t, kNumRegs> regReadyAt{};
+    /**
+     * Poison bits: set when a register's producer was an HFI-faulting
+     * access (the faulting NOP of §4.1). Dependent memory operations
+     * are denied their cache access — no secret-derived address ever
+     * reaches the dcache, which is the no-propagation invariant the
+     * Spectre tests assert.
+     */
+    std::array<bool, kNumRegs> poisoned{};
+    std::vector<std::uint64_t> aluFree, mulFree, memFree;
+    std::unordered_map<std::uint64_t, unsigned> issueSlots;
+
+    std::uint64_t cycle = 0;
+    std::uint64_t seqCounter = 0;
+    std::uint64_t fetchPc = 0;
+    std::uint64_t fetchStallUntil = 0;
+    bool fetchHalted = false;
+    bool serializePending = false;
+    std::uint64_t serializeSeq = 0;
+
+    PipelineStats stats_;
+};
+
+} // namespace hfi::sim
+
+#endif // HFI_SIM_PIPELINE_H

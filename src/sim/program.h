@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Program container and assembler-style builder for the pipeline
+ * simulator.
+ *
+ * Programs are sequences of variable-length instructions laid out at a
+ * base code address; the builder provides labels with fixups so kernels
+ * read like assembly listings. The Fig 2 kernels and the Spectre
+ * gadgets (§5.3) are written against this interface.
+ */
+
+#ifndef HFI_SIM_PROGRAM_H
+#define HFI_SIM_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/isa.h"
+
+namespace hfi::sim
+{
+
+/** An assembled program: instructions with resolved byte addresses. */
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::uint64_t base, std::vector<Inst> insts);
+
+    /** Code base address. */
+    std::uint64_t base() const { return base_; }
+
+    /** One past the last code byte. */
+    std::uint64_t end() const { return end_; }
+
+    /** Total code bytes. */
+    std::uint64_t codeBytes() const { return end_ - base_; }
+
+    std::size_t instructionCount() const { return insts.size(); }
+
+    /**
+     * Instruction starting exactly at @p addr, or nullptr (fetching
+     * mid-instruction or outside the program is an invalid-opcode
+     * fault).
+     */
+    const Inst *at(std::uint64_t addr) const;
+
+    /** Byte address of instruction @p index. */
+    std::uint64_t addressOf(std::size_t index) const { return addrs[index]; }
+
+    const std::vector<Inst> &instructions() const { return insts; }
+
+  private:
+    std::uint64_t base_ = 0;
+    std::uint64_t end_ = 0;
+    std::vector<Inst> insts;
+    std::vector<std::uint64_t> addrs;
+    std::map<std::uint64_t, std::size_t> byAddr;
+};
+
+/**
+ * Assembler with labels and the usual convenience mnemonics.
+ *
+ * Control-flow targets are given as label strings and resolved when
+ * build() lays the code out; referencing an undefined label throws.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::uint64_t base = 0x400000)
+        : codeBase(base)
+    {
+    }
+
+    /** Define @p name at the current position. */
+    ProgramBuilder &label(const std::string &name);
+
+    /** Append a raw instruction (length auto-assigned if 0). */
+    std::size_t emit(Inst inst);
+
+    // ALU helpers.
+    ProgramBuilder &movi(unsigned rd, std::int64_t value);
+    ProgramBuilder &mov(unsigned rd, unsigned ra);
+    ProgramBuilder &add(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &addi(unsigned rd, unsigned ra, std::int64_t imm);
+    ProgramBuilder &sub(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &subi(unsigned rd, unsigned ra, std::int64_t imm);
+    ProgramBuilder &mul(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &andi(unsigned rd, unsigned ra, std::int64_t imm);
+    ProgramBuilder &and_(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &xor_(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &or_(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &shli(unsigned rd, unsigned ra, std::int64_t imm);
+    ProgramBuilder &shri(unsigned rd, unsigned ra, std::int64_t imm);
+
+    // Memory helpers (width in bytes).
+    ProgramBuilder &load(unsigned rd, unsigned ra, std::int64_t imm,
+                         unsigned width = 8);
+    ProgramBuilder &store(unsigned rs, unsigned ra, std::int64_t imm,
+                          unsigned width = 8);
+    /** Indexed load: rd <- mem[ra + rb*scale + imm]. */
+    ProgramBuilder &loadIndexed(unsigned rd, unsigned ra, unsigned rb,
+                                unsigned scale, std::int64_t imm,
+                                unsigned width = 8);
+    /** hmov<region> load: rd <- region[rb*scale + imm]. */
+    ProgramBuilder &hmovLoad(unsigned region, unsigned rd, unsigned rb,
+                             unsigned scale = 1, std::int64_t imm = 0,
+                             unsigned width = 8);
+    ProgramBuilder &hmovStore(unsigned region, unsigned rs, unsigned rb,
+                              unsigned scale = 1, std::int64_t imm = 0,
+                              unsigned width = 8);
+
+    // Control flow.
+    ProgramBuilder &beq(unsigned ra, unsigned rb, const std::string &to);
+    ProgramBuilder &bne(unsigned ra, unsigned rb, const std::string &to);
+    ProgramBuilder &blt(unsigned ra, unsigned rb, const std::string &to);
+    ProgramBuilder &bge(unsigned ra, unsigned rb, const std::string &to);
+    ProgramBuilder &jmp(const std::string &to);
+    ProgramBuilder &call(const std::string &to);
+    ProgramBuilder &ret();
+
+    // System / HFI.
+    ProgramBuilder &syscall(std::int64_t nr);
+    ProgramBuilder &cpuid();
+    ProgramBuilder &hfiEnter(bool hybrid, bool serialized,
+                             bool switch_on_exit = false);
+    ProgramBuilder &hfiExit();
+    /**
+     * hfi_set_region: the descriptor is read from registers ra (base /
+     * base_prefix), rb (bound / lsb_mask), imm (permission bits:
+     * 1=read, 2=write, 4=exec, 8=large).
+     */
+    ProgramBuilder &hfiSetRegion(unsigned region, unsigned ra, unsigned rb,
+                                 std::int64_t perms);
+    /** clflush [ra + imm]. */
+    ProgramBuilder &flush(unsigned ra, std::int64_t imm = 0);
+    ProgramBuilder &halt();
+    ProgramBuilder &nop();
+
+    /** Lay out the code and resolve label fixups. */
+    Program build();
+
+  private:
+    ProgramBuilder &alu(Opcode op, unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &alui(Opcode op, unsigned rd, unsigned ra,
+                         std::int64_t imm);
+    ProgramBuilder &branch(Opcode op, unsigned ra, unsigned rb,
+                           const std::string &to);
+
+    std::uint64_t codeBase;
+    std::vector<Inst> insts;
+    std::map<std::string, std::size_t> labels;       ///< name -> inst index
+    std::vector<std::pair<std::size_t, std::string>> fixups;
+};
+
+} // namespace hfi::sim
+
+#endif // HFI_SIM_PROGRAM_H

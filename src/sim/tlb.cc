@@ -1,0 +1,49 @@
+#include "sim/tlb.h"
+
+namespace hfi::sim
+{
+
+Tlb::Tlb(TlbConfig config) : config_(config), entries(config.entries)
+{
+}
+
+TlbAccess
+Tlb::access(std::uint64_t addr)
+{
+    const std::uint64_t vpn = addr >> config_.pageBits;
+    Entry *lru = &entries[0];
+    for (Entry &e : entries) {
+        if (e.valid && e.vpn == vpn) {
+            e.lruStamp = ++stamp;
+            ++hits_;
+            return {true, 0};
+        }
+        if (!e.valid || e.lruStamp < lru->lruStamp)
+            lru = &e;
+    }
+    lru->valid = true;
+    lru->vpn = vpn;
+    lru->lruStamp = ++stamp;
+    ++misses_;
+    return {false, config_.missLatency};
+}
+
+bool
+Tlb::contains(std::uint64_t addr) const
+{
+    const std::uint64_t vpn = addr >> config_.pageBits;
+    for (const Entry &e : entries) {
+        if (e.valid && e.vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::flushAll()
+{
+    for (Entry &e : entries)
+        e.valid = false;
+}
+
+} // namespace hfi::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A small fully-associative dTLB (the "dtb" of Figure 1).
+ *
+ * HFI's data-region checks run in parallel with the dtb lookup (§4.2),
+ * and §4.1 notes that, unlike the data cache, dtb metadata *may* be
+ * touched by an out-of-bounds address — the invariant is only that no
+ * out-of-bounds *data* propagates. The pipeline model honours both: it
+ * consults the TLB and the HFI checker in the same cycle, and it skips
+ * the data-cache fill — but not the dtb fill — when the check fails.
+ */
+
+#ifndef HFI_SIM_TLB_H
+#define HFI_SIM_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+namespace hfi::sim
+{
+
+/** TLB geometry + penalties. */
+struct TlbConfig
+{
+    unsigned entries = 64;
+    unsigned pageBits = 12;     ///< 4 KiB pages
+    unsigned missLatency = 20;  ///< page-walk cycles
+};
+
+/** Result of a TLB lookup. */
+struct TlbAccess
+{
+    bool hit = false;
+    unsigned latency = 0; ///< extra cycles beyond the parallel lookup
+};
+
+class Tlb
+{
+  public:
+    explicit Tlb(TlbConfig config = {});
+
+    /** Translate: hit refreshes LRU, miss walks and fills. */
+    TlbAccess access(std::uint64_t addr);
+
+    bool contains(std::uint64_t addr) const;
+
+    void flushAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t vpn = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    TlbConfig config_;
+    std::vector<Entry> entries;
+    std::uint64_t stamp = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace hfi::sim
+
+#endif // HFI_SIM_TLB_H

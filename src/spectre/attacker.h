@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The Spectre attacker harness: stages victim memory, runs the attack
+ * program on the pipeline, and performs the flush+reload measurement
+ * that Fig 7 plots.
+ *
+ * The "measurement" is the same one SafeSide's PoC makes with rdtscp:
+ * the access latency of each probe slot. In the simulator the latency
+ * comes from a non-destructive dcache probe, so measuring is exact and
+ * repetition-free — the shape of Fig 7 (one low-latency dip at the
+ * secret byte without HFI, none with HFI) is preserved.
+ */
+
+#ifndef HFI_SPECTRE_ATTACKER_H
+#define HFI_SPECTRE_ATTACKER_H
+
+#include <array>
+#include <cstdint>
+
+#include "sim/pipeline.h"
+#include "spectre/gadget.h"
+
+namespace hfi::spectre
+{
+
+/** Outcome of one attack run. */
+struct AttackResult
+{
+    /** Probe-slot access latency per byte guess — the Fig 7 series. */
+    std::array<unsigned, 256> probeLatency{};
+    /** Guess with the lowest latency. */
+    int hottestGuess = -1;
+    /** The actual secret byte staged by the harness. */
+    std::uint8_t secret = 0;
+    /**
+     * True when the secret's probe slot is cache-hot, i.e. its access
+     * latency is below the hit/miss threshold — the attack succeeded.
+     */
+    bool secretLeaked = false;
+    /** Threshold separating hit from miss latencies (Fig 7's line). */
+    unsigned threshold = 0;
+
+    sim::PipelineResult pipeline{};
+    sim::PipelineStats stats{};
+};
+
+/** Run one attack end to end. */
+AttackResult runAttack(Variant variant, bool with_hfi, std::uint8_t secret,
+                       unsigned training_rounds = 8);
+
+/** Run the §3.4 exit-bypass attack under the given exit posture. */
+AttackResult runExitBypassAttack(ExitPosture posture, std::uint8_t secret,
+                                 unsigned training_rounds = 8);
+
+} // namespace hfi::spectre
+
+#endif // HFI_SPECTRE_ATTACKER_H

@@ -1,0 +1,272 @@
+#include "spectre/gadget.h"
+
+#include "sim/functional.h"
+
+namespace hfi::spectre
+{
+
+namespace
+{
+
+using sim::ProgramBuilder;
+
+// Register conventions shared by the gadgets.
+constexpr unsigned kZero = 0;       ///< holds 0
+constexpr unsigned kIdx = 1;        ///< victim argument: array index
+constexpr unsigned kLen = 2;        ///< scratch: loaded length / flag
+constexpr unsigned kVal = 3;        ///< scratch: loaded array byte
+constexpr unsigned kOff = 4;        ///< scratch: probe offset
+constexpr unsigned kTmp = 5;        ///< scratch
+constexpr unsigned kCursor = 6;     ///< flush-loop cursor
+constexpr unsigned kAddr = 7;       ///< flush-loop address / leak pointer
+constexpr unsigned kArray = 8;      ///< array base
+constexpr unsigned kLenPtr = 9;     ///< &length (or &flag)
+constexpr unsigned kProbe = 10;     ///< probe base
+constexpr unsigned kDesc0 = 11;     ///< region descriptor staging
+constexpr unsigned kDesc1 = 12;     ///< region descriptor staging
+constexpr unsigned kTrain = 13;     ///< training counter
+
+/**
+ * Emit the HFI configuration prologue: a code region over the program,
+ * a no-permission implicit region over the secret page (first match —
+ * exactly the §5.3 setup: "the memory range containing the global
+ * variable is in an HFI region without read or write permissions"),
+ * a broad read-write implicit region over the rest of the data, and an
+ * unserialized hybrid hfi_enter.
+ */
+void
+emitHfiPrologue(ProgramBuilder &b, const VictimLayout &layout,
+                std::uint64_t code_base)
+{
+    // Region 0 (code): 64 KiB around the program, execute.
+    b.movi(kDesc0, static_cast<std::int64_t>(code_base & ~0xffffULL));
+    b.movi(kDesc1, 0xffff);
+    b.hfiSetRegion(0, kDesc0, kDesc1, /*exec*/ 4);
+
+    // Region 2 (implicit data, first match): the secret's page, no
+    // permissions at all.
+    b.movi(kDesc0, static_cast<std::int64_t>(layout.secretAddr & ~0xfffULL));
+    b.movi(kDesc1, 0xfff);
+    b.hfiSetRegion(2, kDesc0, kDesc1, /*no perms*/ 0);
+
+    // Region 3 (implicit data): a broad 4 MiB read-write region holding
+    // array, length, and probe (the secret page matches region 2 first).
+    b.movi(kDesc0, 0);
+    b.movi(kDesc1, 0x3fffff);
+    b.hfiSetRegion(3, kDesc0, kDesc1, /*rw*/ 3);
+
+    // No exit handler; hybrid, unserialized — the protection under test
+    // is the region checks themselves, not serialization.
+    b.movi(sim::kExitHandlerReg, 0);
+    b.hfiEnter(/*hybrid*/ true, /*serialized*/ false);
+}
+
+/** Flush every probe slot, then the length/flag cell. */
+void
+emitFlushes(ProgramBuilder &b, const VictimLayout &layout,
+            const std::string &loop_label)
+{
+    b.movi(kCursor, 0);
+    b.label(loop_label);
+    b.add(kAddr, kProbe, kCursor);
+    b.flush(kAddr, 0);
+    b.addi(kCursor, kCursor, static_cast<std::int64_t>(layout.probeStride));
+    b.movi(kTmp, static_cast<std::int64_t>(256 * layout.probeStride));
+    b.blt(kCursor, kTmp, loop_label);
+    b.flush(kLenPtr, 0);
+}
+
+sim::Program
+buildPht(const VictimLayout &layout, bool with_hfi, unsigned rounds)
+{
+    ProgramBuilder b(0x400000);
+
+    if (with_hfi)
+        emitHfiPrologue(b, layout, 0x400000);
+
+    b.movi(kZero, 0);
+    b.movi(kArray, static_cast<std::int64_t>(layout.arrayBase));
+    b.movi(kLenPtr, static_cast<std::int64_t>(layout.lenAddr));
+    b.movi(kProbe, static_cast<std::int64_t>(layout.probeBase));
+
+    // Train the PHT: in-bounds calls make the bounds check fall
+    // through (not-taken) with high confidence.
+    b.movi(kTrain, static_cast<std::int64_t>(rounds));
+    b.label("train");
+    b.movi(kIdx, 3);
+    b.call("victim");
+    b.subi(kTrain, kTrain, 1);
+    b.bne(kTrain, kZero, "train");
+
+    // Flush the probe and the length, then the out-of-bounds call.
+    emitFlushes(b, layout, "flush");
+    b.movi(kIdx, static_cast<std::int64_t>(layout.secretIndex()));
+    b.call("victim");
+    b.halt();
+
+    // victim(idx): if (idx < *len) probe[array[idx] * stride];
+    b.label("victim");
+    b.load(kLen, kLenPtr, 0, 8);
+    b.bge(kIdx, kLen, "vdone"); // the Spectre-bypassed bounds check
+    b.loadIndexed(kVal, kArray, kIdx, 1, 0, 1);
+    b.shli(kOff, kVal, 9); // x probeStride (512)
+    b.loadIndexed(kTmp, kProbe, kOff, 1, 0, 1);
+    b.label("vdone");
+    b.ret();
+
+    return b.build();
+}
+
+sim::Program
+buildBtb(const VictimLayout &layout, bool with_hfi, unsigned rounds)
+{
+    // Concrete-control-flow model of the BTB attack (footnote 7): a
+    // trained branch speculatively steers execution into the leak
+    // gadget with an attacker-controlled pointer.
+    ProgramBuilder b(0x400000);
+
+    if (with_hfi)
+        emitHfiPrologue(b, layout, 0x400000);
+
+    b.movi(kZero, 0);
+    b.movi(kLenPtr, static_cast<std::int64_t>(layout.lenAddr)); // the flag
+    b.movi(kProbe, static_cast<std::int64_t>(layout.probeBase));
+    b.movi(kAddr, static_cast<std::int64_t>(layout.arrayBase)); // harmless
+
+    // Training: flag = 0 -> dispatch falls through into the gadget
+    // with the harmless pointer.
+    b.movi(kTrain, static_cast<std::int64_t>(rounds));
+    b.label("train");
+    b.movi(kTmp, 0);
+    b.store(kTmp, kLenPtr, 0, 8);
+    b.call("victim");
+    b.subi(kTrain, kTrain, 1);
+    b.bne(kTrain, kZero, "train");
+
+    // Arm: flag = 1 (gadget must NOT run), pointer = secret, flush.
+    b.movi(kTmp, 1);
+    b.store(kTmp, kLenPtr, 0, 8);
+    emitFlushes(b, layout, "flush");
+    b.movi(kAddr, static_cast<std::int64_t>(layout.secretAddr));
+    b.call("victim");
+    b.halt();
+
+    // victim(): if (*flag != 0) return; leak(*ptr);
+    b.label("victim");
+    b.load(kLen, kLenPtr, 0, 8);
+    b.bne(kLen, kZero, "other"); // trained not-taken
+    b.load(kVal, kAddr, 0, 1);   // the leak gadget
+    b.shli(kOff, kVal, 9);
+    b.loadIndexed(kTmp, kProbe, kOff, 1, 0, 1);
+    b.label("other");
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace
+
+const char *
+exitPostureName(ExitPosture posture)
+{
+    switch (posture) {
+      case ExitPosture::Unserialized: return "unserialized";
+      case ExitPosture::Serialized: return "is-serialized";
+      case ExitPosture::SwitchOnExit: return "switch-on-exit";
+    }
+    return "?";
+}
+
+sim::Program
+buildAttack(Variant variant, const VictimLayout &layout, bool with_hfi,
+            unsigned training_rounds)
+{
+    return variant == Variant::Pht
+               ? buildPht(layout, with_hfi, training_rounds)
+               : buildBtb(layout, with_hfi, training_rounds);
+}
+
+sim::Program
+buildExitBypassAttack(const VictimLayout &layout, ExitPosture posture,
+                      unsigned training_rounds)
+{
+    // §3.4's second attack class: instead of bypassing a bounds check
+    // inside the sandbox, the attacker speculatively *leaves* it. The
+    // victim's exit branch is trained taken; on the attack run the flag
+    // says "keep running", but the core speculatively executes
+    // hfi_exit and the runtime continuation with a register the
+    // sandbox still controls.
+    ProgramBuilder b(0x400000);
+    const unsigned kOne = kIdx; // r1 holds the constant 1 here
+
+    // Regions: code; data over [0, 2 MiB) for array+flag; data over
+    // [0x200000, 0x240000) for the probe. The secret at 0x300000 is in
+    // neither — for the runtime's bank as well, which is what makes
+    // switch-on-exit sufficient.
+    b.movi(kDesc0, 0x400000);
+    b.movi(kDesc1, 0xffff);
+    b.hfiSetRegion(0, kDesc0, kDesc1, /*exec*/ 4);
+    b.movi(kDesc0, 0);
+    b.movi(kDesc1, 0x1fffff);
+    b.hfiSetRegion(2, kDesc0, kDesc1, /*rw*/ 3);
+    b.movi(kDesc0, 0x200000);
+    b.movi(kDesc1, 0x3ffff);
+    b.hfiSetRegion(3, kDesc0, kDesc1, /*rw*/ 3);
+    b.movi(sim::kExitHandlerReg, 0);
+
+    // The trusted runtime parks itself in a serialized hybrid sandbox —
+    // the switch-on-exit foundation (§3.4).
+    b.hfiEnter(/*hybrid*/ true, /*serialized*/ true);
+
+    b.movi(kZero, 0);
+    b.movi(kOne, 1);
+    b.movi(kLenPtr, static_cast<std::int64_t>(layout.lenAddr)); // flag
+    b.movi(kProbe, static_cast<std::int64_t>(layout.probeBase));
+    b.movi(kAddr, static_cast<std::int64_t>(layout.arrayBase)); // benign
+
+    const bool serialized = posture == ExitPosture::Serialized;
+    const bool switch_on_exit = posture == ExitPosture::SwitchOnExit;
+
+    // Training: flag=1, so the victim legitimately exits each round and
+    // the "runtime continuation" runs with the benign pointer.
+    b.movi(kTrain, static_cast<std::int64_t>(training_rounds));
+    b.label("train");
+    b.hfiEnter(/*hybrid*/ true, serialized, switch_on_exit);
+    b.movi(kTmp, 1);
+    b.store(kTmp, kLenPtr, 0, 8);
+    b.call("victim");
+    b.subi(kTrain, kTrain, 1);
+    b.bne(kTrain, kZero, "train");
+
+    // Arm: flag=0 (the victim must NOT exit), pointer = secret, flush.
+    b.movi(kTmp, 0);
+    b.store(kTmp, kLenPtr, 0, 8);
+    emitFlushes(b, layout, "flush");
+    b.movi(kAddr, static_cast<std::int64_t>(layout.secretAddr));
+    b.hfiEnter(/*hybrid*/ true, serialized, switch_on_exit);
+    b.call("victim");
+    b.hfiExit(); // the sandbox really finishes now
+    b.halt();
+
+    // victim(): if (*flag == 1) goto exit_stub; else keep running.
+    b.label("victim");
+    b.load(kLen, kLenPtr, 0, 8);
+    b.beq(kLen, kOne, "exit_stub"); // trained taken
+    b.nop();
+    b.ret();
+
+    // The exit stub and the runtime code after it: exactly the §3.4
+    // hazard — "speculatively disable HFI, and then speculatively
+    // execute a code path that would never happen under non-speculative
+    // execution".
+    b.label("exit_stub");
+    b.hfiExit();
+    b.load(kVal, kAddr, 0, 1); // runtime dereferences a sandbox-chosen ptr
+    b.shli(kOff, kVal, 9);
+    b.loadIndexed(kTmp, kProbe, kOff, 1, 0, 1);
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace hfi::spectre

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Spectre proof-of-concept gadgets for the pipeline simulator (§5.3).
+ *
+ * The PHT gadget reproduces the Google SafeSide in-place Spectre-PHT
+ * PoC: a victim function with a bounds check guarding an array read
+ * whose value indexes a probe array. The attacker trains the bounds
+ * check in-bounds, flushes the length so the check resolves slowly,
+ * then calls the victim with an out-of-bounds index that reaches a
+ * secret byte; the speculatively executed probe access leaves a
+ * cache-line fingerprint of the secret.
+ *
+ * The BTB gadget follows the paper's footnote 7: a concrete control
+ * flow models the mistrained indirect branch — a trained conditional
+ * speculatively steers execution into a leak gadget that dereferences a
+ * secret pointer into the probe array.
+ *
+ * Each gadget builds in two variants: unprotected (plain loads) and
+ * HFI-protected (the victim's data accesses go through explicit
+ * regions via hmov, its code/data are covered by regions that exclude
+ * the secret, and the sandbox is entered with hfi_enter).
+ */
+
+#ifndef HFI_SPECTRE_GADGET_H
+#define HFI_SPECTRE_GADGET_H
+
+#include <cstdint>
+
+#include "sim/program.h"
+
+namespace hfi::spectre
+{
+
+/** Memory layout shared by the gadgets and the attacker harness. */
+struct VictimLayout
+{
+    /** The public array the victim may legally index. */
+    std::uint64_t arrayBase = 0x100000;
+    std::uint64_t arrayLen = 16;
+    /** Cell holding the array length (flushed to widen the window). */
+    std::uint64_t lenAddr = 0x110000;
+    /** The probe (flush+reload) array: 256 slots. */
+    std::uint64_t probeBase = 0x200000;
+    std::uint64_t probeStride = 512;
+    /**
+     * The secret byte, *outside* every region the victim is granted.
+     * Reached by indexing arrayBase out of bounds.
+     */
+    std::uint64_t secretAddr = 0x300000;
+
+    std::uint64_t secretIndex() const { return secretAddr - arrayBase; }
+};
+
+/** Which Spectre variant a gadget exercises. */
+enum class Variant
+{
+    Pht, ///< Spectre-PHT (bounds-check bypass), SafeSide-style
+    Btb, ///< Spectre-BTB modeled with concrete control flow (fn 7)
+};
+
+/**
+ * How the sandbox's hfi_exit is protected — the §3.4 design space the
+ * exit-bypass attack probes.
+ */
+enum class ExitPosture
+{
+    Unserialized, ///< fast but speculatively bypassable
+    Serialized,   ///< is-serialized flag: drains before the exit
+    SwitchOnExit, ///< §4.5: the exit is a register-bank swap
+};
+
+const char *exitPostureName(ExitPosture posture);
+
+/**
+ * Build the §3.4 exit-bypass attack: the victim's trained branch leads
+ * to an hfi_exit followed by runtime code that dereferences a register
+ * the sandbox controls. Architecturally the attack run never exits;
+ * speculatively the core runs the exit and the runtime continuation
+ * with an attacker pointer. Unserialized exits leak; serialized and
+ * switch-on-exit ones must not.
+ */
+sim::Program buildExitBypassAttack(const VictimLayout &layout,
+                                   ExitPosture posture,
+                                   unsigned training_rounds = 8);
+
+/**
+ * Build the full attack program: training loop, probe flush, length
+ * flush, one out-of-bounds victim call, halt.
+ *
+ * @param with_hfi protect the victim with HFI regions + hfi_enter.
+ * @param trainingRounds how many in-bounds calls train the predictor.
+ */
+sim::Program buildAttack(Variant variant, const VictimLayout &layout,
+                         bool with_hfi, unsigned training_rounds = 8);
+
+} // namespace hfi::spectre
+
+#endif // HFI_SPECTRE_GADGET_H

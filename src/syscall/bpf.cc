@@ -1,0 +1,142 @@
+#include "syscall/bpf.h"
+
+#include <cstddef>
+#include <cstring>
+
+namespace hfi::syscall
+{
+
+namespace
+{
+
+/** Read a 32-bit little-endian word at @p off inside seccomp_data. */
+bool
+loadWord(const SeccompData &data, std::uint32_t off, std::uint32_t *out)
+{
+    std::uint8_t raw[sizeof(SeccompData)];
+    static_assert(sizeof(SeccompData) == 64);
+    std::memcpy(raw, &data, sizeof(raw));
+    if (off + 4 > sizeof(raw) || off % 4 != 0)
+        return false;
+    std::memcpy(out, raw + off, 4);
+    return true;
+}
+
+} // namespace
+
+BpfResult
+runFilter(const std::vector<BpfInsn> &program, const SeccompData &data)
+{
+    BpfResult res;
+    std::uint32_t acc = 0;
+    std::uint32_t idx = 0;
+    std::uint32_t mem[16] = {};
+
+    std::size_t pc = 0;
+    // The kernel bounds total filter length; we additionally bound the
+    // executed count to defend the host against accidental loops (cBPF
+    // jumps are forward-only so this cannot trigger on valid programs).
+    const std::uint64_t max_steps = program.size() + 1;
+    while (pc < program.size() && res.instructionsExecuted < max_steps) {
+        const BpfInsn &insn = program[pc];
+        ++res.instructionsExecuted;
+        const std::uint16_t cls = insn.code & 0x07;
+
+        switch (cls) {
+          case bpf::LD: {
+            const std::uint16_t mode = insn.code & 0xe0;
+            if (mode == bpf::ABS) {
+                if (!loadWord(data, insn.k, &acc))
+                    return {kSeccompRetKill, res.instructionsExecuted};
+            } else if (mode == bpf::MEM) {
+                if (insn.k >= 16)
+                    return {kSeccompRetKill, res.instructionsExecuted};
+                acc = mem[insn.k];
+            } else { // IMM
+                acc = insn.k;
+            }
+            ++pc;
+            break;
+          }
+          case bpf::ALU: {
+            const std::uint32_t operand =
+                (insn.code & bpf::X) ? idx : insn.k;
+            switch (insn.code & 0xf0) {
+              case bpf::ADD: acc += operand; break;
+              case bpf::SUB: acc -= operand; break;
+              case bpf::AND: acc &= operand; break;
+              case bpf::OR: acc |= operand; break;
+              case bpf::RSH: acc >>= (operand & 31); break;
+              default:
+                return {kSeccompRetKill, res.instructionsExecuted};
+            }
+            ++pc;
+            break;
+          }
+          case bpf::JMP: {
+            const std::uint32_t operand =
+                (insn.code & bpf::X) ? idx : insn.k;
+            bool taken = false;
+            switch (insn.code & 0xf0) {
+              case bpf::JA:
+                pc += 1 + insn.k;
+                continue;
+              case bpf::JEQ: taken = acc == operand; break;
+              case bpf::JGT: taken = acc > operand; break;
+              case bpf::JGE: taken = acc >= operand; break;
+              case bpf::JSET: taken = (acc & operand) != 0; break;
+              default:
+                return {kSeccompRetKill, res.instructionsExecuted};
+            }
+            pc += 1 + (taken ? insn.jt : insn.jf);
+            break;
+          }
+          case bpf::RET:
+            res.verdict = (insn.code & bpf::X) ? idx : insn.k;
+            return res;
+          case bpf::MISC:
+            if ((insn.code & 0xf8) == bpf::TAX)
+                idx = acc;
+            else
+                acc = idx;
+            ++pc;
+            break;
+          default:
+            return {kSeccompRetKill, res.instructionsExecuted};
+        }
+    }
+    // Fell off the end: the kernel verifier rejects such programs.
+    return {kSeccompRetKill, res.instructionsExecuted};
+}
+
+std::vector<BpfInsn>
+makeAllowlistFilter(const std::vector<std::uint32_t> &allowed_nrs)
+{
+    std::vector<BpfInsn> prog;
+    auto insn = [](std::uint16_t code, std::uint8_t jt, std::uint8_t jf,
+                   std::uint32_t k) { return BpfInsn{code, jt, jf, k}; };
+
+    // if (arch != AUDIT_ARCH_X86_64) return KILL;
+    prog.push_back(insn(bpf::LD | bpf::W | bpf::ABS, 0, 0,
+                        static_cast<std::uint32_t>(
+                            offsetof(SeccompData, arch))));
+    prog.push_back(insn(bpf::JMP | bpf::JEQ | bpf::K, 1, 0, 0xc000003e));
+    prog.push_back(insn(bpf::RET | bpf::K, 0, 0, kSeccompRetKill));
+    // Load the syscall number once, then one JEQ per allowed number.
+    prog.push_back(insn(bpf::LD | bpf::W | bpf::ABS, 0, 0,
+                        static_cast<std::uint32_t>(
+                            offsetof(SeccompData, nr))));
+    for (std::size_t i = 0; i < allowed_nrs.size(); ++i) {
+        const auto remaining =
+            static_cast<std::uint8_t>(allowed_nrs.size() - 1 - i);
+        // On match jump to the final ALLOW; otherwise fall through.
+        prog.push_back(insn(bpf::JMP | bpf::JEQ | bpf::K,
+                            static_cast<std::uint8_t>(remaining + 1), 0,
+                            allowed_nrs[i]));
+    }
+    prog.push_back(insn(bpf::RET | bpf::K, 0, 0, kSeccompRetTrap));
+    prog.push_back(insn(bpf::RET | bpf::K, 0, 0, kSeccompRetAllow));
+    return prog;
+}
+
+} // namespace hfi::syscall

@@ -1,0 +1,110 @@
+#include "vm/page_table.h"
+
+namespace hfi::vm
+{
+
+void
+PageTable::carve(VAddr start, VAddr end)
+{
+    // Find the first VMA that could overlap [start, end).
+    auto it = vmas.upper_bound(start);
+    if (it != vmas.begin())
+        --it;
+
+    while (it != vmas.end() && it->first < end) {
+        const VAddr vma_start = it->first;
+        const VAddr vma_end = it->second.end;
+        const PageProt prot = it->second.prot;
+
+        if (vma_end <= start) {
+            ++it;
+            continue;
+        }
+
+        it = vmas.erase(it);
+        if (vma_start < start)
+            vmas.emplace(vma_start, Vma{start, prot});
+        if (vma_end > end)
+            it = vmas.emplace(end, Vma{vma_end, prot}).first;
+    }
+}
+
+void
+PageTable::map(VAddr addr, std::uint64_t size, PageProt prot)
+{
+    const VAddr start = alignDown(addr, kPageSize);
+    const VAddr end = alignUp(addr + size, kPageSize);
+    carve(start, end);
+    vmas.emplace(start, Vma{end, prot});
+    // Fresh mappings start non-resident (lazy zero pages).
+    resident.erase(resident.lower_bound(start / kPageSize),
+                   resident.lower_bound(end / kPageSize));
+}
+
+void
+PageTable::unmap(VAddr addr, std::uint64_t size)
+{
+    const VAddr start = alignDown(addr, kPageSize);
+    const VAddr end = alignUp(addr + size, kPageSize);
+    carve(start, end);
+    resident.erase(resident.lower_bound(start / kPageSize),
+                   resident.lower_bound(end / kPageSize));
+}
+
+void
+PageTable::protect(VAddr addr, std::uint64_t size, PageProt prot)
+{
+    const VAddr start = alignDown(addr, kPageSize);
+    const VAddr end = alignUp(addr + size, kPageSize);
+    carve(start, end);
+    vmas.emplace(start, Vma{end, prot});
+}
+
+std::uint64_t
+PageTable::discard(VAddr addr, std::uint64_t size)
+{
+    const VAddr start = alignDown(addr, kPageSize) / kPageSize;
+    const VAddr end = alignUp(addr + size, kPageSize) / kPageSize;
+    auto first = resident.lower_bound(start);
+    auto last = resident.lower_bound(end);
+    const auto count =
+        static_cast<std::uint64_t>(std::distance(first, last));
+    resident.erase(first, last);
+    return count;
+}
+
+PageProt
+PageTable::protectionAt(VAddr addr) const
+{
+    auto it = vmas.upper_bound(addr);
+    if (it == vmas.begin())
+        return PageProt::None;
+    --it;
+    if (addr >= it->second.end)
+        return PageProt::None;
+    return it->second.prot;
+}
+
+bool
+PageTable::isMapped(VAddr addr) const
+{
+    auto it = vmas.upper_bound(addr);
+    if (it == vmas.begin())
+        return false;
+    --it;
+    return addr < it->second.end;
+}
+
+bool
+PageTable::isResident(VAddr addr) const
+{
+    return resident.count(addr / kPageSize) != 0;
+}
+
+void
+PageTable::touch(VAddr addr)
+{
+    resident.insert(addr / kPageSize);
+}
+
+} // namespace hfi::vm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic virtual time source used by all experiments.
+ *
+ * Every subsystem charges its costs (in cycles) to a VirtualClock instead
+ * of reading wall-clock time. This makes every benchmark in the repository
+ * bit-for-bit reproducible across machines while preserving the relative
+ * cost structure the paper measures.
+ */
+
+#ifndef HFI_VM_VIRTUAL_CLOCK_H
+#define HFI_VM_VIRTUAL_CLOCK_H
+
+#include <cstdint>
+
+namespace hfi::vm
+{
+
+/** Cycles of the modeled core. */
+using Cycles = std::uint64_t;
+
+/**
+ * A monotonically advancing virtual cycle counter.
+ *
+ * The clock models a fixed-frequency core (default 3.3 GHz, matching the
+ * paper's Table 2 baseline). Conversions to nanoseconds use that
+ * frequency.
+ */
+class VirtualClock
+{
+  public:
+    /** Construct a clock at cycle zero with the given frequency in MHz. */
+    explicit VirtualClock(std::uint64_t freq_mhz = 3300)
+        : freqMhz(freq_mhz)
+    {
+    }
+
+    /** Advance the clock by @p cycles. */
+    void tick(Cycles cycles) { now_ += cycles; }
+
+    /** Current virtual cycle count. */
+    Cycles now() const { return now_; }
+
+    /** Current virtual time in nanoseconds. */
+    double nowNs() const { return cyclesToNs(now_); }
+
+    /** Current virtual time in microseconds. */
+    double nowUs() const { return nowNs() / 1e3; }
+
+    /** Current virtual time in milliseconds. */
+    double nowMs() const { return nowNs() / 1e6; }
+
+    /** Current virtual time in seconds. */
+    double nowSec() const { return nowNs() / 1e9; }
+
+    /** Convert a cycle count to nanoseconds at this clock's frequency. */
+    double
+    cyclesToNs(Cycles cycles) const
+    {
+        return static_cast<double>(cycles) * 1000.0 /
+               static_cast<double>(freqMhz);
+    }
+
+    /** Convert nanoseconds to cycles at this clock's frequency. */
+    Cycles
+    nsToCycles(double ns) const
+    {
+        return static_cast<Cycles>(ns * static_cast<double>(freqMhz) /
+                                   1000.0);
+    }
+
+    /** Core frequency in MHz. */
+    std::uint64_t frequencyMhz() const { return freqMhz; }
+
+    /** Reset the clock to cycle zero. */
+    void reset() { now_ = 0; }
+
+  private:
+    std::uint64_t freqMhz;
+    Cycles now_ = 0;
+};
+
+} // namespace hfi::vm
+
+#endif // HFI_VM_VIRTUAL_CLOCK_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The four FaaS request handlers of Table 1: XML-to-JSON transcoding,
+ * image classification, SHA-256 checking, and templated HTML rendering.
+ *
+ * Each handler consumes a request payload staged into sandbox memory and
+ * produces a response, doing real work (parsing, fixed-point inference,
+ * hashing, string assembly) through the metered access path. The Table 1
+ * bench runs them under a simulated webserver with different isolation /
+ * Spectre-protection schemes; the workloads themselves are scheme-
+ * agnostic.
+ */
+
+#ifndef HFI_WORKLOADS_FAAS_WORKLOADS_H
+#define HFI_WORKLOADS_FAAS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfi/sandbox.h"
+
+namespace hfi::workloads::faas
+{
+
+/** Deterministic XML request document of roughly @p records records. */
+std::string makeXmlDocument(std::uint64_t records, std::uint32_t seed);
+
+/**
+ * Parse the XML request at in_off/in_len and serialize it as JSON into
+ * an output buffer.
+ * @return FNV checksum of the JSON bytes.
+ */
+std::uint64_t xmlToJson(sfi::Sandbox &s, std::uint64_t in_off,
+                        std::uint64_t in_len);
+
+/**
+ * Classify a @p side x @p side grayscale image with a small fixed-point
+ * convolutional network (weights synthesized from @p seed).
+ * @return winning class index mixed with the logit checksum.
+ */
+std::uint64_t classifyImage(sfi::Sandbox &s, std::uint64_t img_off,
+                            std::uint32_t side, std::uint32_t seed);
+
+/**
+ * Check the SHA-256 of the payload at in_off/in_len against an expected
+ * digest at digest_off (the Table 1 "Check SHA-256" handler).
+ * @return 1 if the digest matches, else 0 (mixed with digest checksum).
+ */
+std::uint64_t checkSha256(sfi::Sandbox &s, std::uint64_t in_off,
+                          std::uint64_t in_len, std::uint64_t digest_off);
+
+/** Deterministic HTML template with {{placeholders}} and {{#loops}}. */
+std::string makeHtmlTemplate(std::uint32_t seed);
+
+/**
+ * Render the template at tpl_off/tpl_len with @p rows data rows into an
+ * output buffer ({{name}} substitution plus {{#each}} expansion).
+ * @return FNV checksum of the rendered bytes.
+ */
+std::uint64_t renderTemplate(sfi::Sandbox &s, std::uint64_t tpl_off,
+                             std::uint64_t tpl_len, std::uint64_t rows,
+                             std::uint32_t seed);
+
+} // namespace hfi::workloads::faas
+
+#endif // HFI_WORKLOADS_FAAS_WORKLOADS_H

@@ -1,0 +1,158 @@
+#include "workloads/font.h"
+
+#include "workloads/support.h"
+
+namespace hfi::workloads::font
+{
+
+namespace
+{
+
+const char *const kWords[] = {
+    "lorem", "ipsum", "dolor", "sit",   "amet",    "consectetur",
+    "adipiscing", "elit", "sed", "do",  "eiusmod", "tempor",
+    "incididunt", "ut", "labore", "et", "dolore",  "magna",
+    "aliqua", "enim", "ad", "minim",    "veniam",  "quis"};
+
+} // namespace
+
+std::string
+makeTestText(std::uint64_t words, std::uint32_t seed)
+{
+    Rng rng(seed);
+    std::string text;
+    for (std::uint64_t i = 0; i < words; ++i) {
+        if (i)
+            text += ' ';
+        text += kWords[rng.nextBelow(std::size(kWords))];
+    }
+    return text;
+}
+
+ReflowResult
+reflowSandboxed(sfi::Sandbox &s, const std::string &text,
+                std::uint32_t font_size, std::uint32_t page_width)
+{
+    Arena arena(s);
+
+    // Stage the text.
+    const std::uint64_t buf = arena.alloc(text.size() + 1);
+    for (std::size_t i = 0; i < text.size(); ++i)
+        s.store<std::uint8_t>(buf + i,
+                              static_cast<std::uint8_t>(text[i]));
+    s.store<std::uint8_t>(buf + text.size(), 0);
+
+    // Build metric tables for this font size: advance widths per char
+    // and a 32x32 kerning matrix, both scaled by the size so each size
+    // touches distinct values (the paper's cache-defeating trick).
+    const std::uint64_t advances = arena.alloc(128 * 4);
+    const std::uint64_t kerning = arena.alloc(32 * 32 * 2);
+    for (int c = 0; c < 128; ++c) {
+        const std::uint32_t w =
+            font_size * (4 + (c * 7 + font_size) % 5) / 8;
+        s.store<std::uint32_t>(advances + c * 4, w);
+    }
+    for (int a = 0; a < 32; ++a) {
+        for (int b = 0; b < 32; ++b) {
+            const std::int16_t k = static_cast<std::int16_t>(
+                ((a * 31 + b * 17 + font_size) % 7) - 3);
+            s.store<std::int16_t>(kerning + (a * 32 + b) * 2, k);
+        }
+    }
+
+    // Glyph records laid out during shaping: {x u32, y u32, glyph u32}.
+    const std::uint64_t glyphs = arena.alloc(text.size() * 12 + 12);
+
+    ReflowResult res;
+    Checksum sum;
+    std::uint32_t pen_x = 0;
+    std::uint32_t pen_y = font_size;
+    std::uint8_t prev = 0;
+    std::uint64_t word_start_glyph = 0;
+    std::uint32_t word_start_x = 0;
+    std::uint64_t glyph_count = 0;
+    res.lines = 1;
+
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        const std::uint8_t c = s.load<std::uint8_t>(buf + i);
+        s.chargeOps(4);
+        if (c == ' ' || c == 0) {
+            pen_x += font_size / 2;
+            prev = 0;
+            word_start_glyph = glyph_count;
+            word_start_x = pen_x;
+            if (c == 0)
+                break;
+            continue;
+        }
+
+        std::uint32_t advance =
+            s.load<std::uint32_t>(advances + (c & 127) * 4);
+        if (prev) {
+            advance = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(advance) +
+                s.load<std::int16_t>(kerning +
+                                     ((prev & 31) * 32 + (c & 31)) * 2));
+        }
+        s.chargeOps(6);
+
+        if (pen_x + advance > page_width) {
+            // Break the line at the start of the current word and move
+            // its already-shaped glyphs down.
+            pen_y += font_size * 5 / 4;
+            const std::uint32_t shift = word_start_x;
+            for (std::uint64_t g = word_start_glyph; g < glyph_count; ++g) {
+                const std::uint32_t gx =
+                    s.load<std::uint32_t>(glyphs + g * 12);
+                s.store<std::uint32_t>(glyphs + g * 12, gx - shift);
+                s.store<std::uint32_t>(glyphs + g * 12 + 4, pen_y);
+                s.chargeOps(4);
+            }
+            pen_x -= shift;
+            word_start_x = 0;
+            ++res.lines;
+        }
+
+        s.store<std::uint32_t>(glyphs + glyph_count * 12, pen_x);
+        s.store<std::uint32_t>(glyphs + glyph_count * 12 + 4, pen_y);
+        s.store<std::uint32_t>(glyphs + glyph_count * 12 + 8, c);
+        ++glyph_count;
+        pen_x += advance;
+        prev = c;
+        // Shaping arithmetic: cluster mapping, hinting rounds, mark
+        // attachment — real shapers spend most of their time here.
+        s.chargeOps(18);
+    }
+
+    // "Rasterize": fold every positioned glyph into the checksum, as a
+    // stand-in for blitting coverage.
+    for (std::uint64_t g = 0; g < glyph_count; ++g) {
+        sum.mix(s.load<std::uint32_t>(glyphs + g * 12));
+        sum.mix(s.load<std::uint32_t>(glyphs + g * 12 + 4));
+        sum.mix(s.load<std::uint32_t>(glyphs + g * 12 + 8));
+        s.chargeOps(6);
+    }
+
+    res.glyphs = glyph_count;
+    res.checksum = sum.value();
+    return res;
+}
+
+std::uint64_t
+renderPage(sfi::Sandbox &sandbox, const std::string &text,
+           std::uint32_t page_width)
+{
+    // §6.2: ten reflows across multiple font sizes.
+    static const std::uint32_t kSizes[] = {12, 14, 16, 18, 24};
+    Checksum sum;
+    for (int pass = 0; pass < 10; ++pass) {
+        const std::uint32_t size = kSizes[pass % std::size(kSizes)];
+        const ReflowResult res =
+            reflowSandboxed(sandbox, text, size, page_width);
+        sum.mix(res.checksum);
+        sum.mix(res.lines);
+    }
+    return sum.value();
+}
+
+} // namespace hfi::workloads::font

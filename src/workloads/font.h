@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A text-shaping and reflow engine standing in for libgraphite (§6.2).
+ *
+ * The paper's font benchmark "reflows the text on a page ten times via
+ * the sandboxed libgraphite, using multiple font sizes to avoid any
+ * effects from font caches". Our engine does real shaping work over
+ * sandbox memory: per-glyph advance widths, kerning-pair adjustments,
+ * greedy line breaking at word boundaries against a page width, and a
+ * per-line vertical layout pass. Different font sizes rescale the metric
+ * tables, so each reflow touches fresh table entries like the paper's
+ * cache-defeating setup.
+ */
+
+#ifndef HFI_WORKLOADS_FONT_H
+#define HFI_WORKLOADS_FONT_H
+
+#include <cstdint>
+#include <string>
+
+#include "sfi/sandbox.h"
+
+namespace hfi::workloads::font
+{
+
+/** Deterministic lorem-ipsum-like text of roughly @p words words. */
+std::string makeTestText(std::uint64_t words, std::uint32_t seed);
+
+/** Result of one reflow pass. */
+struct ReflowResult
+{
+    std::uint64_t lines = 0;
+    std::uint64_t glyphs = 0;
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Shape and reflow @p text inside the sandbox at @p font_size (pixels)
+ * against a page @p page_width pixels wide.
+ */
+ReflowResult reflowSandboxed(sfi::Sandbox &sandbox, const std::string &text,
+                             std::uint32_t font_size,
+                             std::uint32_t page_width);
+
+/**
+ * The full §6.2 benchmark body: ten reflows across a cycle of font
+ * sizes, as the paper describes.
+ * @return combined checksum.
+ */
+std::uint64_t renderPage(sfi::Sandbox &sandbox, const std::string &text,
+                         std::uint32_t page_width);
+
+} // namespace hfi::workloads::font
+
+#endif // HFI_WORKLOADS_FONT_H

@@ -1,0 +1,352 @@
+#include "workloads/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "workloads/support.h"
+
+namespace hfi::workloads::image
+{
+
+namespace
+{
+
+/** Zig-zag scan order for an 8x8 block. */
+constexpr int kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+/** Quantization step for coefficient (u, v) at a quality level. */
+int
+quantStep(Quality q, int u, int v)
+{
+    switch (q) {
+      case Quality::None:
+        return 1;
+      case Quality::Default:
+        return 8 + (u + v) * 4;
+      case Quality::Best:
+        return 16 + (u + v) * 12;
+    }
+    return 1;
+}
+
+/**
+ * Integer DCT basis, scaled by 2^10. C[u][x] = c(u) * cos((2x+1)u*pi/16).
+ */
+const std::int32_t *
+dctBasis()
+{
+    static std::int32_t basis[64];
+    static bool init = false;
+    if (!init) {
+        for (int u = 0; u < 8; ++u) {
+            const double cu = u == 0 ? std::sqrt(0.5) : 1.0;
+            for (int x = 0; x < 8; ++x) {
+                basis[u * 8 + x] = static_cast<std::int32_t>(
+                    std::lround(cu * std::cos((2 * x + 1) * u * M_PI / 16.0) *
+                                1024.0 * 0.5));
+            }
+        }
+        init = true;
+    }
+    return basis;
+}
+
+/** Forward 8x8 DCT (host-side, integer). */
+void
+fdct(const std::int32_t in[64], std::int32_t out[64])
+{
+    const std::int32_t *c = dctBasis();
+    std::int32_t tmp[64];
+    for (int u = 0; u < 8; ++u) {
+        for (int x = 0; x < 8; ++x) {
+            std::int64_t acc = 0;
+            for (int k = 0; k < 8; ++k)
+                acc += static_cast<std::int64_t>(c[u * 8 + k]) * in[k * 8 + x];
+            tmp[u * 8 + x] = static_cast<std::int32_t>(acc >> 10);
+        }
+    }
+    for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+            std::int64_t acc = 0;
+            for (int k = 0; k < 8; ++k)
+                acc += static_cast<std::int64_t>(c[v * 8 + k]) * tmp[u * 8 + k];
+            out[u * 8 + v] = static_cast<std::int32_t>(acc >> 10);
+        }
+    }
+}
+
+/** Append an unsigned LEB128-style varint. */
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/** Zig-zag-encode a signed value into unsigned varint space. */
+std::uint32_t
+zigzagEncode(std::int32_t v)
+{
+    return (static_cast<std::uint32_t>(v) << 1) ^
+           static_cast<std::uint32_t>(v >> 31);
+}
+
+std::int32_t
+zigzagDecode(std::uint32_t v)
+{
+    return static_cast<std::int32_t>(v >> 1) ^
+           -static_cast<std::int32_t>(v & 1);
+}
+
+constexpr std::uint8_t kEob = 0xff;
+
+} // namespace
+
+const char *
+qualityName(Quality q)
+{
+    switch (q) {
+      case Quality::None: return "none";
+      case Quality::Default: return "default";
+      case Quality::Best: return "best";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+makeTestImage(std::uint32_t width, std::uint32_t height, std::uint32_t seed)
+{
+    std::vector<std::uint8_t> px(static_cast<std::size_t>(width) * height);
+    Rng rng(seed);
+    // Smooth gradient plus block texture plus sparse noise — enough
+    // structure to compress, enough detail to keep coefficients alive.
+    for (std::uint32_t y = 0; y < height; ++y) {
+        for (std::uint32_t x = 0; x < width; ++x) {
+            int v = static_cast<int>((x * 255) / width / 2 +
+                                     (y * 255) / height / 2);
+            v += static_cast<int>((x / 16 + y / 16) % 2 ? 12 : -12);
+            if (rng.nextBelow(31) == 0)
+                v += static_cast<int>(rng.nextBelow(32)) - 16;
+            px[static_cast<std::size_t>(y) * width + x] =
+                static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+        }
+    }
+    return px;
+}
+
+EncodedImage
+encode(const std::vector<std::uint8_t> &pixels, std::uint32_t width,
+       std::uint32_t height, Quality quality)
+{
+    EncodedImage img;
+    img.width = width;
+    img.height = height;
+    img.quality = quality;
+
+    for (std::uint32_t by = 0; by < height; by += 8) {
+        for (std::uint32_t bx = 0; bx < width; bx += 8) {
+            std::int32_t block[64];
+            for (int y = 0; y < 8; ++y) {
+                for (int x = 0; x < 8; ++x) {
+                    const std::uint32_t sy = std::min(by + y, height - 1);
+                    const std::uint32_t sx = std::min(bx + x, width - 1);
+                    block[y * 8 + x] =
+                        pixels[static_cast<std::size_t>(sy) * width + sx] -
+                        128;
+                }
+            }
+            std::int32_t coef[64];
+            fdct(block, coef);
+
+            // Quantize, zig-zag, run-length encode.
+            int run = 0;
+            for (int i = 0; i < 64; ++i) {
+                const int at = kZigzag[i];
+                const int q = quantStep(quality, at / 8, at % 8);
+                const std::int32_t v = coef[at] / q;
+                if (v == 0) {
+                    ++run;
+                    continue;
+                }
+                while (run > 62) {
+                    img.bits.push_back(62);
+                    putVarint(img.bits, zigzagEncode(0));
+                    run -= 62;
+                }
+                img.bits.push_back(static_cast<std::uint8_t>(run));
+                putVarint(img.bits, zigzagEncode(v));
+                run = 0;
+            }
+            img.bits.push_back(kEob);
+        }
+    }
+    return img;
+}
+
+std::uint64_t
+decodeSandboxed(sfi::Sandbox &s, const EncodedImage &img)
+{
+    Arena arena(s);
+
+    // Stage the bitstream (playing the role of the bytes handed to the
+    // sandboxed decoder by the host): staged via the metered store path
+    // because the host must copy them into sandbox memory.
+    const std::uint64_t bits = arena.alloc(img.bits.size() + 8);
+    for (std::size_t i = 0; i < img.bits.size(); ++i)
+        s.store<std::uint8_t>(bits + i, img.bits[i]);
+
+    const std::uint64_t out =
+        arena.alloc(static_cast<std::uint64_t>(img.width) * img.height);
+
+    const std::uint64_t pixel_count =
+        static_cast<std::uint64_t>(img.width) * img.height;
+    auto checksumOutput = [&] {
+        // Row-major checksum of the decoded image, read back through
+        // the metered path (the host consuming the decoder's output).
+        Checksum sum;
+        for (std::uint64_t i = 0; i < pixel_count; ++i) {
+            sum.mix(s.load<std::uint8_t>(out + i));
+            s.chargeOps(2);
+        }
+        return sum.value();
+    };
+
+    const std::int32_t *c = dctBasis();
+    std::uint64_t cursor = 0;
+    for (std::uint32_t by = 0; by < img.height; by += 8) {
+        for (std::uint32_t bx = 0; bx < img.width; bx += 8) {
+            // Entropy decode one block.
+            std::int32_t coef[64] = {};
+            int at = 0;
+            while (true) {
+                const std::uint8_t run = s.load<std::uint8_t>(bits + cursor++);
+                s.chargeOps(3);
+                if (run == kEob)
+                    break;
+                at += run;
+                std::uint32_t raw = 0;
+                int shift = 0;
+                while (true) {
+                    const std::uint8_t b =
+                        s.load<std::uint8_t>(bits + cursor++);
+                    raw |= static_cast<std::uint32_t>(b & 0x7f) << shift;
+                    shift += 7;
+                    s.chargeOps(4);
+                    if (!(b & 0x80))
+                        break;
+                }
+                const int zz = kZigzag[at];
+                const int q = quantStep(img.quality, zz / 8, zz % 8);
+                coef[zz] = zigzagDecode(raw) * q;
+                ++at;
+                s.chargeOps(5);
+            }
+
+            // Inverse DCT (rows then columns).
+            std::int32_t tmp[64];
+            for (int x = 0; x < 8; ++x) {
+                for (int yy = 0; yy < 8; ++yy) {
+                    std::int64_t acc = 0;
+                    for (int u = 0; u < 8; ++u)
+                        acc += static_cast<std::int64_t>(c[u * 8 + yy]) *
+                               coef[u * 8 + x];
+                    tmp[yy * 8 + x] = static_cast<std::int32_t>(acc >> 10);
+                }
+            }
+            for (int yy = 0; yy < 8; ++yy) {
+                for (int x = 0; x < 8; ++x) {
+                    std::int64_t acc = 0;
+                    for (int v = 0; v < 8; ++v)
+                        acc += static_cast<std::int64_t>(c[v * 8 + x]) *
+                               tmp[yy * 8 + v];
+                    const std::int32_t px =
+                        static_cast<std::int32_t>(acc >> 10) + 128;
+                    const std::uint32_t oy = by + static_cast<std::uint32_t>(yy);
+                    const std::uint32_t ox = bx + static_cast<std::uint32_t>(x);
+                    if (oy < img.height && ox < img.width) {
+                        const std::uint8_t clamped = static_cast<std::uint8_t>(
+                            std::clamp(px, 0, 255));
+                        s.store<std::uint8_t>(
+                            out + static_cast<std::uint64_t>(oy) * img.width +
+                                ox,
+                            clamped);
+                    }
+                }
+                s.chargeOps(8 * 10);
+            }
+            s.chargeOps(8 * 8 * 2);
+        }
+    }
+    return checksumOutput();
+}
+
+std::vector<std::uint8_t>
+decodeReference(const EncodedImage &img)
+{
+    std::vector<std::uint8_t> out(
+        static_cast<std::size_t>(img.width) * img.height, 0);
+    const std::int32_t *c = dctBasis();
+    std::size_t cursor = 0;
+    for (std::uint32_t by = 0; by < img.height; by += 8) {
+        for (std::uint32_t bx = 0; bx < img.width; bx += 8) {
+            std::int32_t coef[64] = {};
+            int at = 0;
+            while (true) {
+                const std::uint8_t run = img.bits[cursor++];
+                if (run == kEob)
+                    break;
+                at += run;
+                std::uint32_t raw = 0;
+                int shift = 0;
+                while (true) {
+                    const std::uint8_t b = img.bits[cursor++];
+                    raw |= static_cast<std::uint32_t>(b & 0x7f) << shift;
+                    shift += 7;
+                    if (!(b & 0x80))
+                        break;
+                }
+                const int zz = kZigzag[at];
+                coef[zz] = zigzagDecode(raw) *
+                           quantStep(img.quality, zz / 8, zz % 8);
+                ++at;
+            }
+            std::int32_t tmp[64];
+            for (int x = 0; x < 8; ++x) {
+                for (int yy = 0; yy < 8; ++yy) {
+                    std::int64_t acc = 0;
+                    for (int u = 0; u < 8; ++u)
+                        acc += static_cast<std::int64_t>(c[u * 8 + yy]) *
+                               coef[u * 8 + x];
+                    tmp[yy * 8 + x] = static_cast<std::int32_t>(acc >> 10);
+                }
+            }
+            for (int yy = 0; yy < 8; ++yy) {
+                for (int x = 0; x < 8; ++x) {
+                    std::int64_t acc = 0;
+                    for (int v = 0; v < 8; ++v)
+                        acc += static_cast<std::int64_t>(c[v * 8 + x]) *
+                               tmp[yy * 8 + v];
+                    const std::int32_t px =
+                        static_cast<std::int32_t>(acc >> 10) + 128;
+                    const std::uint32_t oy = by + static_cast<std::uint32_t>(yy);
+                    const std::uint32_t ox = bx + static_cast<std::uint32_t>(x);
+                    if (oy < img.height && ox < img.width) {
+                        out[static_cast<std::size_t>(oy) * img.width + ox] =
+                            static_cast<std::uint8_t>(std::clamp(px, 0, 255));
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace hfi::workloads::image

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A block-transform image codec standing in for libjpeg (§6.2, Fig 4).
+ *
+ * The *encoder* runs host-side (it plays the role of the image file on
+ * disk): synthetic images are split into 8x8 blocks, forward-DCT'd in
+ * integer arithmetic, quantized by a quality level, and entropy coded
+ * with run-length + varint coefficients. The *decoder* runs inside a
+ * sandbox: it entropy-decodes from linear memory, dequantizes, runs the
+ * inverse transform, and writes pixels into an output buffer it
+ * allocates incrementally — which drives memory_grow during decode just
+ * like dlmalloc under libjpeg does, the behaviour that makes Fig 4
+ * sensitive to the backend's heap-growth cost.
+ *
+ * Three quality levels mirror the figure's compression levels:
+ *  - None: blocks are stored raw (little decode compute);
+ *  - Default: moderate quantization;
+ *  - Best: heavy quantization (the most compute per output pixel).
+ */
+
+#ifndef HFI_WORKLOADS_IMAGE_H
+#define HFI_WORKLOADS_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sfi/sandbox.h"
+
+namespace hfi::workloads::image
+{
+
+/** Compression level, matching Fig 4's {best, default, none}. */
+enum class Quality
+{
+    None,
+    Default,
+    Best,
+};
+
+const char *qualityName(Quality q);
+
+/** An encoded image (host-side artifact, like a .jpg file). */
+struct EncodedImage
+{
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    Quality quality = Quality::Default;
+    std::vector<std::uint8_t> bits;
+};
+
+/** Deterministic synthetic test image (gradient + seeded texture). */
+std::vector<std::uint8_t> makeTestImage(std::uint32_t width,
+                                        std::uint32_t height,
+                                        std::uint32_t seed);
+
+/** Encode @p pixels (8-bit grayscale, row-major) host-side. */
+EncodedImage encode(const std::vector<std::uint8_t> &pixels,
+                    std::uint32_t width, std::uint32_t height,
+                    Quality quality);
+
+/**
+ * Decode @p img inside @p sandbox.
+ *
+ * The bitstream is staged into linear memory, then decoded with every
+ * access metered; the output buffer is bump-allocated during decode.
+ * @return FNV checksum of the decoded pixels.
+ */
+std::uint64_t decodeSandboxed(sfi::Sandbox &sandbox,
+                              const EncodedImage &img);
+
+/**
+ * Decode host-side (reference for functional tests).
+ * @return decoded pixels.
+ */
+std::vector<std::uint8_t> decodeReference(const EncodedImage &img);
+
+} // namespace hfi::workloads::image
+
+#endif // HFI_WORKLOADS_IMAGE_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the Wasm-style linear memory: 64 KiB-page growth semantics
+ * and typed access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sfi/linear_memory.h"
+
+namespace
+{
+
+using namespace hfi::sfi;
+
+TEST(LinearMemory, StartsAtInitialPages)
+{
+    LinearMemory mem(2, 10);
+    EXPECT_EQ(mem.pages(), 2u);
+    EXPECT_EQ(mem.size(), 2 * kWasmPageSize);
+    EXPECT_EQ(mem.maxPages(), 10u);
+}
+
+TEST(LinearMemory, GrowReturnsPreviousSize)
+{
+    LinearMemory mem(1, 10);
+    EXPECT_EQ(mem.grow(3), 1);
+    EXPECT_EQ(mem.pages(), 4u);
+    EXPECT_EQ(mem.grow(6), 4);
+    EXPECT_EQ(mem.pages(), 10u);
+}
+
+TEST(LinearMemory, GrowBeyondMaxFails)
+{
+    LinearMemory mem(1, 4);
+    EXPECT_EQ(mem.grow(4), -1);
+    EXPECT_EQ(mem.pages(), 1u);
+    EXPECT_EQ(mem.grow(3), 1);
+    EXPECT_EQ(mem.grow(1), -1);
+}
+
+TEST(LinearMemory, NewPagesAreZero)
+{
+    LinearMemory mem(1, 4);
+    mem.grow(1);
+    for (std::uint64_t off = kWasmPageSize; off < 2 * kWasmPageSize;
+         off += 4096)
+        EXPECT_EQ(mem.load<std::uint64_t>(off), 0u);
+}
+
+TEST(LinearMemory, TypedRoundTrip)
+{
+    LinearMemory mem(1, 4);
+    mem.store<std::uint8_t>(10, 0xab);
+    mem.store<std::uint32_t>(20, 0xdeadbeef);
+    mem.store<std::uint64_t>(32, 0x0123456789abcdefULL);
+    EXPECT_EQ(mem.load<std::uint8_t>(10), 0xab);
+    EXPECT_EQ(mem.load<std::uint32_t>(20), 0xdeadbeefu);
+    EXPECT_EQ(mem.load<std::uint64_t>(32), 0x0123456789abcdefULL);
+}
+
+TEST(LinearMemory, UnalignedAccessWorks)
+{
+    LinearMemory mem(1, 4);
+    mem.store<std::uint64_t>(3, 0x1122334455667788ULL);
+    EXPECT_EQ(mem.load<std::uint64_t>(3), 0x1122334455667788ULL);
+    EXPECT_EQ(mem.load<std::uint8_t>(3), 0x88);
+}
+
+TEST(LinearMemory, InBoundsEdgeCases)
+{
+    LinearMemory mem(1, 4);
+    EXPECT_TRUE(mem.inBounds(kWasmPageSize - 8, 8));
+    EXPECT_FALSE(mem.inBounds(kWasmPageSize - 7, 8));
+    EXPECT_TRUE(mem.inBounds(0, kWasmPageSize));
+    EXPECT_FALSE(mem.inBounds(UINT64_MAX, 1)); // overflow-safe
+    EXPECT_TRUE(mem.inBounds(kWasmPageSize, 0));
+}
+
+TEST(LinearMemory, BulkCopies)
+{
+    LinearMemory mem(1, 4);
+    const char text[] = "hello hfi";
+    mem.writeBytes(100, text, sizeof(text));
+    char back[sizeof(text)] = {};
+    mem.readBytes(100, back, sizeof(text));
+    EXPECT_STREQ(back, text);
+}
+
+} // namespace

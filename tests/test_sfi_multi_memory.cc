@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for Wasm multi-memory over multiplexed explicit regions
+ * (§3.3.1): binding, LRU rebinds, per-memory bounds enforcement, growth
+ * by register update, and the guard-free footprint (§2's contrast).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sfi/multi_memory.h"
+
+namespace
+{
+
+using namespace hfi;
+using namespace hfi::sfi;
+
+class MultiMemoryTest : public ::testing::Test
+{
+  protected:
+    vm::VirtualClock clock;
+    vm::Mmu mmu{clock};
+    core::HfiContext ctx{clock};
+};
+
+TEST_F(MultiMemoryTest, IndependentMemories)
+{
+    MultiMemorySandbox instance(mmu, ctx, 3);
+    ASSERT_TRUE(instance.valid());
+    instance.enter();
+    instance.store<std::uint64_t>(0, 64, 0xaaaa);
+    instance.store<std::uint64_t>(1, 64, 0xbbbb);
+    instance.store<std::uint64_t>(2, 64, 0xcccc);
+    EXPECT_EQ(instance.load<std::uint64_t>(0, 64), 0xaaaau);
+    EXPECT_EQ(instance.load<std::uint64_t>(1, 64), 0xbbbbu);
+    EXPECT_EQ(instance.load<std::uint64_t>(2, 64), 0xccccu);
+    instance.exit();
+}
+
+TEST_F(MultiMemoryTest, UpToFourMemoriesNeverRebind)
+{
+    MultiMemorySandbox instance(mmu, ctx, 4);
+    ASSERT_TRUE(instance.valid());
+    instance.enter();
+    for (int round = 0; round < 10; ++round) {
+        for (unsigned m = 0; m < 4; ++m)
+            instance.store<std::uint32_t>(m, 0, round);
+    }
+    // One initial bind per memory, nothing after.
+    EXPECT_EQ(instance.stats().rebinds, 4u);
+    instance.exit();
+}
+
+TEST_F(MultiMemoryTest, FifthMemoryForcesLruRebinds)
+{
+    MultiMemorySandbox instance(mmu, ctx, 5);
+    ASSERT_TRUE(instance.valid());
+    instance.enter();
+    for (unsigned m = 0; m < 5; ++m)
+        instance.store<std::uint32_t>(m, 0, m);
+    EXPECT_EQ(instance.stats().rebinds, 5u);
+    // Memory 0 was evicted by memory 4's bind; touching it rebinds.
+    EXPECT_EQ(instance.boundSlot(0), -1);
+    EXPECT_EQ(instance.load<std::uint32_t>(0, 0), 0u);
+    EXPECT_EQ(instance.stats().rebinds, 6u);
+    instance.exit();
+}
+
+TEST_F(MultiMemoryTest, RebindSerializesInHybridSandbox)
+{
+    MultiMemorySandbox instance(mmu, ctx, 5);
+    ASSERT_TRUE(instance.valid());
+    instance.enter();
+    const auto serializations = ctx.stats().serializations;
+    for (unsigned m = 0; m < 5; ++m)
+        instance.store<std::uint32_t>(m, 0, 1);
+    // §4.3: every in-sandbox hfi_set_region serialized.
+    EXPECT_GE(ctx.stats().serializations, serializations + 5);
+    instance.exit();
+}
+
+TEST_F(MultiMemoryTest, PerMemoryBoundsEnforced)
+{
+    MultiMemorySandbox instance(mmu, ctx, 2, /*initial*/ 1, /*max*/ 8);
+    ASSERT_TRUE(instance.valid());
+    instance.enter();
+    EXPECT_NO_THROW(instance.store<std::uint8_t>(0, kWasmPageSize - 1, 1));
+    EXPECT_THROW(instance.load<std::uint8_t>(0, kWasmPageSize),
+                 SandboxTrap);
+    EXPECT_EQ(instance.stats().traps, 1u);
+    instance.exit();
+}
+
+TEST_F(MultiMemoryTest, GrowIsARegisterUpdate)
+{
+    MultiMemorySandbox instance(mmu, ctx, 1, 1, 8);
+    ASSERT_TRUE(instance.valid());
+    instance.enter();
+    EXPECT_THROW(instance.load<std::uint8_t>(0, kWasmPageSize),
+                 SandboxTrap);
+    const auto mprotects = mmu.stats().mprotectCalls;
+    EXPECT_EQ(instance.memoryGrow(0, 1), 1);
+    EXPECT_EQ(mmu.stats().mprotectCalls, mprotects); // no syscall
+    EXPECT_EQ(instance.load<std::uint8_t>(0, kWasmPageSize), 0);
+    instance.exit();
+}
+
+TEST_F(MultiMemoryTest, GrowBeyondMaxFails)
+{
+    MultiMemorySandbox instance(mmu, ctx, 1, 1, 4);
+    ASSERT_TRUE(instance.valid());
+    EXPECT_EQ(instance.memoryGrow(0, 10), -1);
+}
+
+TEST_F(MultiMemoryTest, FootprintIsGuardFree)
+{
+    // §2: each guard-page memory costs 8 GiB; eight HFI memories of
+    // 1 MiB max cost exactly 8 MiB.
+    MultiMemorySandbox instance(mmu, ctx, 8, 1, 16);
+    ASSERT_TRUE(instance.valid());
+    EXPECT_EQ(instance.reservedVaBytes(), 8ULL << 20);
+}
+
+TEST_F(MultiMemoryTest, ManyMemoriesStillCorrect)
+{
+    // 32 memories over 4 slots: heavy multiplexing must stay correct.
+    MultiMemorySandbox instance(mmu, ctx, 32);
+    ASSERT_TRUE(instance.valid());
+    instance.enter();
+    for (unsigned m = 0; m < 32; ++m)
+        instance.store<std::uint64_t>(m, 8 * m, 0x1000 + m);
+    for (unsigned m = 0; m < 32; ++m)
+        EXPECT_EQ(instance.load<std::uint64_t>(m, 8 * m), 0x1000u + m);
+    EXPECT_GT(instance.stats().rebinds, 32u); // round-robin thrashing
+    instance.exit();
+}
+
+} // namespace

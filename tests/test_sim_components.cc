@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the µ-architectural components: cache (LRU, flush, the
+ * non-perturbing probe the Spectre measurement uses), TLB, and the
+ * branch predictors (2-bit PHT training — the attack's lever — BTB,
+ * and RSB).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/branch_predictor.h"
+#include "sim/cache.h"
+#include "sim/tlb.h"
+
+namespace
+{
+
+using namespace hfi::sim;
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache;
+    const auto miss = cache.access(0x1000);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.latency, cache.config().missLatency);
+    const auto hit = cache.access(0x1000);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.latency, cache.config().hitLatency);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, SameLineSharesEntry)
+{
+    Cache cache;
+    cache.access(0x1000);
+    EXPECT_TRUE(cache.access(0x103f).hit); // same 64 B line
+    EXPECT_FALSE(cache.access(0x1040).hit);
+}
+
+TEST(Cache, ProbeDoesNotPerturb)
+{
+    Cache cache;
+    EXPECT_FALSE(cache.probe(0x1000).hit);
+    EXPECT_FALSE(cache.contains(0x1000)); // probe did not fill
+    cache.access(0x1000);
+    EXPECT_TRUE(cache.probe(0x1000).hit);
+    EXPECT_EQ(cache.hits(), 0u); // probes aren't counted as accesses
+}
+
+TEST(Cache, FlushEvictsLine)
+{
+    Cache cache;
+    cache.access(0x2000);
+    ASSERT_TRUE(cache.contains(0x2000));
+    cache.flush(0x2010); // same line, any offset
+    EXPECT_FALSE(cache.contains(0x2000));
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    // 8-way: the 9th distinct tag mapping to one set evicts the LRU.
+    CacheConfig config;
+    Cache cache(config);
+    const unsigned sets = static_cast<unsigned>(
+        config.sizeBytes / (config.ways * config.lineBytes));
+    const std::uint64_t set_stride =
+        static_cast<std::uint64_t>(sets) * config.lineBytes;
+
+    for (unsigned way = 0; way < 9; ++way)
+        cache.access(0x10000 + way * set_stride);
+    EXPECT_FALSE(cache.contains(0x10000)); // oldest evicted
+    EXPECT_TRUE(cache.contains(0x10000 + 8 * set_stride));
+    EXPECT_TRUE(cache.contains(0x10000 + 1 * set_stride));
+}
+
+TEST(Cache, TouchRefreshesLru)
+{
+    CacheConfig config;
+    Cache cache(config);
+    const unsigned sets = static_cast<unsigned>(
+        config.sizeBytes / (config.ways * config.lineBytes));
+    const std::uint64_t set_stride =
+        static_cast<std::uint64_t>(sets) * config.lineBytes;
+
+    for (unsigned way = 0; way < 8; ++way)
+        cache.access(0x10000 + way * set_stride);
+    cache.access(0x10000); // refresh way 0
+    cache.access(0x10000 + 8 * set_stride);
+    EXPECT_TRUE(cache.contains(0x10000));
+    EXPECT_FALSE(cache.contains(0x10000 + 1 * set_stride)); // now LRU
+}
+
+TEST(Cache, FlushAll)
+{
+    Cache cache;
+    cache.access(0x1000);
+    cache.access(0x2000);
+    cache.flushAll();
+    EXPECT_FALSE(cache.contains(0x1000));
+    EXPECT_FALSE(cache.contains(0x2000));
+}
+
+TEST(Tlb, MissFillsHitRefreshes)
+{
+    Tlb tlb;
+    EXPECT_FALSE(tlb.access(0x1234).hit);
+    EXPECT_TRUE(tlb.access(0x1000).hit); // same 4 KiB page
+    EXPECT_FALSE(tlb.access(0x2000).hit);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    TlbConfig config;
+    config.entries = 4;
+    Tlb tlb(config);
+    for (std::uint64_t p = 0; p < 5; ++p)
+        tlb.access(p << 12);
+    EXPECT_FALSE(tlb.contains(0));           // LRU evicted
+    EXPECT_TRUE(tlb.contains(4ULL << 12));
+}
+
+TEST(Tlb, FlushAll)
+{
+    Tlb tlb;
+    tlb.access(0x5000);
+    tlb.flushAll();
+    EXPECT_FALSE(tlb.contains(0x5000));
+}
+
+TEST(Predictor, PhtTrainsTowardTaken)
+{
+    BranchPredictor bp;
+    const std::uint64_t pc = 0x400100;
+    // Counters start weakly-not-taken.
+    EXPECT_FALSE(bp.predictDirection(pc));
+    bp.updateDirection(pc, true);
+    bp.updateDirection(pc, true);
+    EXPECT_TRUE(bp.predictDirection(pc));
+    // Hysteresis: one not-taken does not flip a strongly-taken counter.
+    bp.updateDirection(pc, true);
+    bp.updateDirection(pc, false);
+    EXPECT_TRUE(bp.predictDirection(pc));
+    bp.updateDirection(pc, false);
+    bp.updateDirection(pc, false);
+    EXPECT_FALSE(bp.predictDirection(pc));
+}
+
+TEST(Predictor, PhtIsTheSpectreTrainingLever)
+{
+    // The attack's exact sequence: repeated not-taken outcomes drive
+    // the bounds-check branch to predict not-taken (fall into the
+    // access) even when the attacker's input would take it.
+    BranchPredictor bp;
+    const std::uint64_t branch_pc = 0x400200;
+    for (int i = 0; i < 8; ++i)
+        bp.updateDirection(branch_pc, false);
+    EXPECT_FALSE(bp.predictDirection(branch_pc));
+}
+
+TEST(Predictor, BtbStoresTargetsPerPc)
+{
+    BranchPredictor bp;
+    EXPECT_EQ(bp.predictTarget(0x400100), 0u);
+    bp.updateTarget(0x400100, 0x500000);
+    EXPECT_EQ(bp.predictTarget(0x400100), 0x500000u);
+    // A different PC (same set) must not alias to a wrong prediction.
+    bp.updateTarget(0x400100 + 4 * 512, 0x600000);
+    EXPECT_EQ(bp.predictTarget(0x400100), 0u); // evicted, not aliased
+}
+
+TEST(Predictor, RsbLifo)
+{
+    BranchPredictor bp;
+    bp.pushReturn(0x111);
+    bp.pushReturn(0x222);
+    EXPECT_EQ(bp.popReturn(), 0x222u);
+    EXPECT_EQ(bp.popReturn(), 0x111u);
+    EXPECT_EQ(bp.popReturn(), 0u); // empty
+}
+
+TEST(Predictor, RsbWrapsAtDepth)
+{
+    PredictorConfig config;
+    config.rsbDepth = 4;
+    BranchPredictor bp(config);
+    for (std::uint64_t i = 1; i <= 6; ++i)
+        bp.pushReturn(i * 0x100);
+    // The two oldest entries were overwritten.
+    EXPECT_EQ(bp.popReturn(), 0x600u);
+    EXPECT_EQ(bp.popReturn(), 0x500u);
+    EXPECT_EQ(bp.popReturn(), 0x400u);
+    EXPECT_EQ(bp.popReturn(), 0x300u);
+}
+
+} // namespace

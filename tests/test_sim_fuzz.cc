@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Differential fuzzing of the out-of-order pipeline against the
+ * in-order functional executor: randomly generated programs (seeded,
+ * reproducible) must produce bit-identical architectural state on both.
+ *
+ * This is the property that keeps the timing model honest: branch
+ * prediction, speculative execution, squash/recovery, store-to-load
+ * forwarding, and HFI state snapshots may change *when* things happen,
+ * never *what* happens.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pipeline.h"
+
+namespace
+{
+
+using namespace hfi::sim;
+
+/** xorshift64* for program generation. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state(seed * 2654435761u + 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dULL;
+    }
+
+    std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  private:
+    std::uint64_t state;
+};
+
+constexpr std::uint64_t kDataBase = 0x100000;
+constexpr std::uint64_t kDataBytes = 1 << 16;
+
+/**
+ * Generate a random but guaranteed-terminating program:
+ *  - a chain of basic blocks, each with random ALU ops and
+ *    window-constrained loads/stores;
+ *  - random *forward* conditional branches (cannot loop);
+ *  - a few bounded counted loops (fixed trip counts);
+ *  - random call/ret pairs into tail helper functions.
+ */
+Program
+generate(std::uint64_t seed, bool with_hfi)
+{
+    Rng rng(seed);
+    ProgramBuilder b;
+
+    // r12 is the data base; r13 masks offsets into the window.
+    b.movi(12, static_cast<std::int64_t>(kDataBase));
+    b.movi(13, kDataBytes - 8);
+    for (unsigned r = 0; r < 10; ++r)
+        b.movi(r, static_cast<std::int64_t>(rng.next() >> 8));
+
+    if (with_hfi) {
+        // Code + data regions covering exactly the program and window,
+        // entered as an unserialized hybrid sandbox so speculation is
+        // free to run wild — results must still match.
+        b.movi(10, 0x400000);
+        b.movi(11, 0xffff);
+        b.hfiSetRegion(0, 10, 11, 4);
+        b.movi(10, static_cast<std::int64_t>(kDataBase));
+        b.movi(11, kDataBytes - 1);
+        b.hfiSetRegion(2, 10, 11, 3);
+        b.movi(kExitHandlerReg, 0);
+        b.hfiEnter(true, false);
+    }
+
+    const unsigned blocks = 6 + static_cast<unsigned>(rng.below(6));
+    for (unsigned block = 0; block < blocks; ++block) {
+        const std::string label = "block" + std::to_string(block);
+        b.label(label);
+
+        const unsigned ops = 4 + static_cast<unsigned>(rng.below(10));
+        for (unsigned i = 0; i < ops; ++i) {
+            const unsigned rd = static_cast<unsigned>(rng.below(10));
+            const unsigned ra = static_cast<unsigned>(rng.below(10));
+            const unsigned rb = static_cast<unsigned>(rng.below(10));
+            switch (rng.below(10)) {
+              case 0: b.add(rd, ra, rb); break;
+              case 1: b.sub(rd, ra, rb); break;
+              case 2: b.mul(rd, ra, rb); break;
+              case 3: b.xor_(rd, ra, rb); break;
+              case 4: b.or_(rd, ra, rb); break;
+              case 5:
+                b.shli(rd, ra, static_cast<std::int64_t>(rng.below(31)));
+                break;
+              case 6:
+                b.addi(rd, ra,
+                       static_cast<std::int64_t>(rng.below(1 << 20)));
+                break;
+              case 7: { // masked load: r_rd = [base + (ra & mask)]
+                b.and_(11, ra, 13);
+                Inst load;
+                load.op = Opcode::Load;
+                load.rd = static_cast<std::uint8_t>(rd);
+                load.ra = 12;
+                load.rb = 11;
+                load.useIndex = true;
+                load.width = static_cast<std::uint8_t>(
+                    1u << rng.below(4));
+                load.length = defaultLength(load);
+                b.emit(load);
+                break;
+              }
+              case 8: { // masked store
+                b.and_(11, ra, 13);
+                Inst store;
+                store.op = Opcode::Store;
+                store.rd = static_cast<std::uint8_t>(rd);
+                store.ra = 12;
+                store.rb = 11;
+                store.useIndex = true;
+                store.width = static_cast<std::uint8_t>(
+                    1u << rng.below(4));
+                store.length = defaultLength(store);
+                b.emit(store);
+                break;
+              }
+              case 9: // data-dependent forward skip
+                if (block + 1 < blocks) {
+                    switch (rng.below(4)) {
+                      case 0:
+                        b.beq(ra, rb,
+                              "block" + std::to_string(block + 1));
+                        break;
+                      case 1:
+                        b.bne(ra, rb,
+                              "block" + std::to_string(block + 1));
+                        break;
+                      case 2:
+                        b.blt(ra, rb,
+                              "block" + std::to_string(block + 1));
+                        break;
+                      default:
+                        b.bge(ra, rb,
+                              "block" + std::to_string(block + 1));
+                        break;
+                    }
+                }
+                break;
+            }
+        }
+
+        // Occasionally a bounded counted loop over a mixing body.
+        if (rng.below(3) == 0) {
+            const std::string loop = "loop" + std::to_string(block);
+            b.movi(10, static_cast<std::int64_t>(2 + rng.below(30)));
+            b.label(loop);
+            b.add(static_cast<unsigned>(rng.below(10)), 10,
+                  static_cast<unsigned>(rng.below(10)));
+            b.and_(11, 10, 13);
+            Inst load;
+            load.op = Opcode::Load;
+            load.rd = static_cast<std::uint8_t>(rng.below(10));
+            load.ra = 12;
+            load.rb = 11;
+            load.useIndex = true;
+            load.width = 8;
+            load.length = defaultLength(load);
+            b.emit(load);
+            b.subi(10, 10, 1);
+            b.bne(10, 15, loop); // r15 is 0 in non-HFI runs... see below
+        }
+    }
+
+    // Spill the final register state so memory comparison covers it.
+    for (unsigned r = 0; r < 10; ++r)
+        b.store(r, 12, static_cast<std::int64_t>(0x8000 + r * 8), 8);
+    if (with_hfi)
+        b.hfiExit();
+    b.halt();
+    return b.build();
+}
+
+/** Run @p prog both ways and compare all architectural outputs. */
+void
+compareRuns(std::uint64_t seed, bool with_hfi)
+{
+    const Program prog = generate(seed, with_hfi);
+
+    SimMemory ref_mem;
+    ArchState ref_state;
+    ref_state.pc = prog.base();
+    const std::uint64_t steps =
+        FunctionalCore::run(prog, ref_state, ref_mem, 2'000'000);
+    ASSERT_LT(steps, 2'000'000u) << "seed " << seed << " did not halt";
+
+    Pipeline pipe(prog);
+    const auto res = pipe.run(50'000'000);
+    ASSERT_TRUE(res.halted || res.faulted) << "seed " << seed;
+
+    for (unsigned r = 0; r < 10; ++r) {
+        EXPECT_EQ(pipe.memory().read(kDataBase + 0x8000 + r * 8, 8),
+                  ref_mem.read(kDataBase + 0x8000 + r * 8, 8))
+            << "seed " << seed << " register r" << r;
+    }
+    // Compare the whole data window.
+    for (std::uint64_t off = 0; off < kDataBytes; off += 8) {
+        ASSERT_EQ(pipe.memory().read(kDataBase + off, 8),
+                  ref_mem.read(kDataBase + off, 8))
+            << "seed " << seed << " offset 0x" << std::hex << off;
+    }
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PipelineFuzz, MatchesFunctionalExecutor)
+{
+    compareRuns(GetParam(), false);
+}
+
+TEST_P(PipelineFuzz, MatchesFunctionalExecutorUnderHfi)
+{
+    compareRuns(GetParam(), true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the micro-ISA definitions and the assembler: encoded
+ * lengths (hmov's prefix, the emulation's long displacement forms),
+ * label resolution, and address layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/program.h"
+
+namespace
+{
+
+using namespace hfi::sim;
+
+TEST(Isa, Classification)
+{
+    EXPECT_TRUE(isMemory(Opcode::Load));
+    EXPECT_TRUE(isMemory(Opcode::HmovStore));
+    EXPECT_FALSE(isMemory(Opcode::Add));
+    EXPECT_TRUE(isControl(Opcode::Beq));
+    EXPECT_TRUE(isControl(Opcode::Ret));
+    EXPECT_FALSE(isControl(Opcode::Syscall));
+    EXPECT_TRUE(isConditionalBranch(Opcode::Blt));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jmp));
+}
+
+TEST(Isa, EncodedLengths)
+{
+    Inst hmov;
+    hmov.op = Opcode::HmovLoad;
+    EXPECT_EQ(defaultLength(hmov), 5); // prefix byte on top of a mov
+
+    Inst small_mov;
+    small_mov.op = Opcode::Load;
+    small_mov.imm = 0x100;
+    EXPECT_EQ(defaultLength(small_mov), 4);
+
+    Inst abs_mov;
+    abs_mov.op = Opcode::Load;
+    abs_mov.imm = 0x10000000; // the emulation's fixed heap base
+    EXPECT_EQ(defaultLength(abs_mov), 7);
+
+    Inst cpuid;
+    cpuid.op = Opcode::Cpuid;
+    EXPECT_EQ(defaultLength(cpuid), 2);
+
+    Inst big_movi;
+    big_movi.op = Opcode::Movi;
+    big_movi.imm = 1LL << 40;
+    EXPECT_EQ(defaultLength(big_movi), 10); // movabs
+}
+
+TEST(Isa, OpcodeNamesAreDistinct)
+{
+    EXPECT_STREQ(opcodeName(Opcode::HmovLoad), "hmov.load");
+    EXPECT_STREQ(opcodeName(Opcode::HfiEnter), "hfi_enter");
+    EXPECT_STREQ(opcodeName(Opcode::Flush), "clflush");
+}
+
+TEST(Builder, AddressesFollowLengths)
+{
+    ProgramBuilder b(0x1000);
+    b.movi(1, 5);   // 5 bytes
+    b.add(2, 1, 1); // 4 bytes
+    b.halt();       // 4 bytes
+    const Program prog = b.build();
+    EXPECT_EQ(prog.base(), 0x1000u);
+    EXPECT_EQ(prog.addressOf(0), 0x1000u);
+    EXPECT_EQ(prog.addressOf(1), 0x1005u);
+    EXPECT_EQ(prog.addressOf(2), 0x1009u);
+    EXPECT_EQ(prog.end(), 0x100du);
+    EXPECT_EQ(prog.codeBytes(), 13u);
+}
+
+TEST(Builder, AtFindsOnlyInstructionStarts)
+{
+    ProgramBuilder b(0x1000);
+    b.movi(1, 5);
+    b.halt();
+    const Program prog = b.build();
+    ASSERT_NE(prog.at(0x1000), nullptr);
+    EXPECT_EQ(prog.at(0x1000)->op, Opcode::Movi);
+    EXPECT_EQ(prog.at(0x1001), nullptr); // mid-instruction
+    EXPECT_EQ(prog.at(0x2000), nullptr); // outside
+}
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b;
+    b.movi(1, 3);
+    b.label("loop");
+    b.subi(1, 1, 1);
+    b.bne(1, 0, "loop");  // backward
+    b.jmp("end");         // forward
+    b.movi(2, 99);
+    b.label("end");
+    b.halt();
+    const Program prog = b.build();
+    const Inst &bne_inst = prog.instructions()[2];
+    EXPECT_EQ(bne_inst.target, prog.addressOf(1));
+    const Inst &jmp_inst = prog.instructions()[3];
+    EXPECT_EQ(jmp_inst.target, prog.addressOf(5));
+}
+
+TEST(Builder, UndefinedLabelThrows)
+{
+    ProgramBuilder b;
+    b.jmp("nowhere");
+    EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Builder, DuplicateLabelThrows)
+{
+    ProgramBuilder b;
+    b.label("x");
+    b.nop();
+    EXPECT_THROW(b.label("x"), std::logic_error);
+}
+
+TEST(Builder, HmovCarriesRegionAndAddressing)
+{
+    ProgramBuilder b;
+    b.hmovLoad(2, 5, 6, 8, 0x40, 4);
+    const Program prog = b.build();
+    const Inst &inst = prog.instructions()[0];
+    EXPECT_EQ(inst.op, Opcode::HmovLoad);
+    EXPECT_EQ(inst.region, 2);
+    EXPECT_EQ(inst.rd, 5);
+    EXPECT_EQ(inst.rb, 6);
+    EXPECT_EQ(inst.scale, 8);
+    EXPECT_EQ(inst.imm, 0x40);
+    EXPECT_EQ(inst.width, 4);
+    EXPECT_TRUE(inst.useIndex);
+}
+
+} // namespace

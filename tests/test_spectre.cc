@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The §5.3 security evaluation as tests: the Spectre-PHT (SafeSide) and
+ * Spectre-BTB (TransientFail, concrete-control-flow per footnote 7)
+ * attacks succeed on the unprotected pipeline and are defeated by HFI's
+ * regions; plus the microarchitectural invariants behind the defense.
+ */
+
+#include <gtest/gtest.h>
+
+#include "spectre/attacker.h"
+
+namespace
+{
+
+using namespace hfi;
+using namespace hfi::spectre;
+
+TEST(SpectrePht, LeaksWithoutHfi)
+{
+    const auto result = runAttack(Variant::Pht, /*hfi*/ false, 'I');
+    ASSERT_TRUE(result.pipeline.halted);
+    EXPECT_TRUE(result.secretLeaked);
+    EXPECT_EQ(result.hottestGuess, 'I');
+    EXPECT_LT(result.probeLatency['I'], result.threshold);
+    // Every other probe slot stayed cold (modulo the training value).
+    unsigned hot = 0;
+    for (unsigned g = 0; g < 256; ++g)
+        hot += result.probeLatency[g] < result.threshold;
+    EXPECT_LE(hot, 2u);
+}
+
+TEST(SpectrePht, BlockedWithHfi)
+{
+    const auto result = runAttack(Variant::Pht, /*hfi*/ true, 'I');
+    ASSERT_TRUE(result.pipeline.halted); // no architectural fault either
+    EXPECT_FALSE(result.secretLeaked);
+    EXPECT_GE(result.probeLatency['I'], result.threshold);
+    // The wrong-path fault was suppressed silently (no committed trap).
+    EXPECT_FALSE(result.pipeline.faulted);
+    EXPECT_GT(result.stats.hfiFaultsSuppressed, 0u);
+}
+
+TEST(SpectreBtb, LeaksWithoutHfi)
+{
+    const auto result = runAttack(Variant::Btb, false, 'S');
+    ASSERT_TRUE(result.pipeline.halted);
+    EXPECT_TRUE(result.secretLeaked);
+    EXPECT_EQ(result.hottestGuess, 'S');
+}
+
+TEST(SpectreBtb, BlockedWithHfi)
+{
+    const auto result = runAttack(Variant::Btb, true, 'S');
+    ASSERT_TRUE(result.pipeline.halted);
+    EXPECT_FALSE(result.secretLeaked);
+    EXPECT_FALSE(result.pipeline.faulted);
+}
+
+/** Sweep several secret bytes through both variants: the attack always
+ *  recovers the byte without HFI and never with it. */
+class SecretSweep
+    : public ::testing::TestWithParam<std::tuple<Variant, std::uint8_t>>
+{
+};
+
+TEST_P(SecretSweep, RecoveredIffUnprotected)
+{
+    const auto [variant, secret] = GetParam();
+    const auto open_run = runAttack(variant, false, secret);
+    EXPECT_TRUE(open_run.secretLeaked);
+    EXPECT_EQ(open_run.hottestGuess, secret);
+
+    const auto protected_run = runAttack(variant, true, secret);
+    EXPECT_FALSE(protected_run.secretLeaked);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bytes, SecretSweep,
+    ::testing::Combine(::testing::Values(Variant::Pht, Variant::Btb),
+                       ::testing::Values(std::uint8_t{1}, std::uint8_t{42},
+                                         std::uint8_t{'H'},
+                                         std::uint8_t{200},
+                                         std::uint8_t{255})),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) == Variant::Pht ? "Pht"
+                                                                   : "Btb") +
+               "_" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SpectreInvariants, WithoutHfiTheVictimStillBehavesCorrectly)
+{
+    // The out-of-bounds call architecturally returns without touching
+    // the probe: only the *speculative* path leaks. We verify the
+    // victim's architectural effects by checking that no fault commits
+    // and the program halts normally in every configuration.
+    for (bool hfi_on : {false, true}) {
+        const auto result = runAttack(Variant::Pht, hfi_on, 99);
+        EXPECT_TRUE(result.pipeline.halted);
+        EXPECT_FALSE(result.pipeline.faulted);
+    }
+}
+
+TEST(SpectreInvariants, TrainingRoundsMatter)
+{
+    // With zero training the bounds check predicts "taken" from its
+    // weakly-not-taken... actually cold counters start not-taken, so
+    // even an untrained attack may leak; what must hold is that more
+    // training never *hurts* the unprotected attack and never *helps*
+    // against HFI.
+    const auto trained = runAttack(Variant::Pht, false, 77, 12);
+    EXPECT_TRUE(trained.secretLeaked);
+    const auto hfi_trained = runAttack(Variant::Pht, true, 77, 12);
+    EXPECT_FALSE(hfi_trained.secretLeaked);
+}
+
+TEST(SpectreInvariants, ThresholdSeparatesHitFromMiss)
+{
+    const auto result = runAttack(Variant::Pht, false, 'Z');
+    unsigned min_lat = UINT32_MAX, max_lat = 0;
+    for (unsigned g = 0; g < 256; ++g) {
+        min_lat = std::min(min_lat, result.probeLatency[g]);
+        max_lat = std::max(max_lat, result.probeLatency[g]);
+    }
+    EXPECT_LT(min_lat, result.threshold);
+    EXPECT_GT(max_lat, result.threshold);
+}
+
+TEST(SpectreInvariants, ManySquashedInstructionsInBothModes)
+{
+    // Speculation happens in both configurations — HFI does not work by
+    // disabling speculation (that would be the costly alternative the
+    // paper argues against) but by checking it.
+    const auto open_run = runAttack(Variant::Pht, false, 7);
+    const auto protected_run = runAttack(Variant::Pht, true, 7);
+    EXPECT_GT(open_run.stats.squashed, 10u);
+    EXPECT_GT(protected_run.stats.squashed, 10u);
+    EXPECT_GT(protected_run.stats.hfiDataChecks, 50u);
+}
+
+TEST(ExitBypass, UnserializedExitLeaks)
+{
+    // §3.4: "malicious code cannot speculatively disable HFI, and then
+    // speculatively execute a code path that would never happen under
+    // non-speculative execution" — unless the exit is unprotected.
+    const auto result = runExitBypassAttack(ExitPosture::Unserialized, 'X');
+    ASSERT_TRUE(result.pipeline.halted);
+    EXPECT_TRUE(result.secretLeaked);
+    EXPECT_EQ(result.hottestGuess, 'X');
+}
+
+TEST(ExitBypass, SerializedExitBlocks)
+{
+    const auto result = runExitBypassAttack(ExitPosture::Serialized, 'X');
+    ASSERT_TRUE(result.pipeline.halted);
+    EXPECT_FALSE(result.secretLeaked);
+}
+
+TEST(ExitBypass, SwitchOnExitBlocksWithoutSerialization)
+{
+    // §4.5: the speculative hfi_exit lands in the runtime's register
+    // bank, whose regions also exclude the secret — the speculative
+    // access faults (suppressed) instead of filling the cache.
+    const auto result =
+        runExitBypassAttack(ExitPosture::SwitchOnExit, 'X');
+    ASSERT_TRUE(result.pipeline.halted);
+    EXPECT_FALSE(result.secretLeaked);
+    EXPECT_GT(result.stats.hfiFaultsSuppressed, 0u);
+}
+
+TEST(ExitBypass, SwitchOnExitIsCheaperThanSerialized)
+{
+    const auto soe = runExitBypassAttack(ExitPosture::SwitchOnExit, 'X');
+    const auto serialized =
+        runExitBypassAttack(ExitPosture::Serialized, 'X');
+    // Same program shape; the serialized variant drains the pipeline on
+    // every training-round exit.
+    EXPECT_LT(soe.pipeline.cycles, serialized.pipeline.cycles);
+}
+
+class ExitBypassSecretSweep
+    : public ::testing::TestWithParam<std::uint8_t>
+{
+};
+
+TEST_P(ExitBypassSecretSweep, LeaksOnlyUnserialized)
+{
+    const std::uint8_t secret = GetParam();
+    EXPECT_TRUE(
+        runExitBypassAttack(ExitPosture::Unserialized, secret).secretLeaked);
+    EXPECT_FALSE(
+        runExitBypassAttack(ExitPosture::Serialized, secret).secretLeaked);
+    EXPECT_FALSE(runExitBypassAttack(ExitPosture::SwitchOnExit, secret)
+                     .secretLeaked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bytes, ExitBypassSecretSweep,
+                         ::testing::Values(std::uint8_t{3},
+                                           std::uint8_t{'q'},
+                                           std::uint8_t{250}));
+
+} // namespace

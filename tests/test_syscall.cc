@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the syscall substrate: the classic-BPF interpreter's
+ * instruction semantics, the libseccomp-shaped allowlist filter, both
+ * interposition paths (§6.4.1), and the miniature kernel file layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "syscall/bpf.h"
+#include "syscall/interposer.h"
+
+namespace
+{
+
+using namespace hfi;
+using namespace hfi::syscall;
+
+// ------------------------------------------------------ BPF semantics
+
+TEST(Bpf, RetImmediate)
+{
+    std::vector<BpfInsn> prog = {{bpf::RET | bpf::K, 0, 0, 0x1234}};
+    const auto res = runFilter(prog, SeccompData{});
+    EXPECT_EQ(res.verdict, 0x1234u);
+    EXPECT_EQ(res.instructionsExecuted, 1u);
+}
+
+TEST(Bpf, LoadAbsReadsSeccompData)
+{
+    SeccompData data;
+    data.nr = 42;
+    std::vector<BpfInsn> prog = {
+        {bpf::LD | bpf::W | bpf::ABS, 0, 0, 0}, // nr
+        {bpf::RET | bpf::X, 0, 0, 0},           // return index reg (0)
+    };
+    // Return the accumulator instead: TAX then RET X.
+    prog = {
+        {bpf::LD | bpf::W | bpf::ABS, 0, 0, 0},
+        {bpf::MISC | bpf::TAX, 0, 0, 0},
+        {bpf::RET | bpf::X, 0, 0, 0},
+    };
+    EXPECT_EQ(runFilter(prog, data).verdict, 42u);
+}
+
+TEST(Bpf, LoadAbsArgs)
+{
+    SeccompData data;
+    data.args[0] = 0x1122334455667788ULL;
+    // args[0] low word sits at offset 16.
+    std::vector<BpfInsn> prog = {
+        {bpf::LD | bpf::W | bpf::ABS, 0, 0, 16},
+        {bpf::MISC | bpf::TAX, 0, 0, 0},
+        {bpf::RET | bpf::X, 0, 0, 0},
+    };
+    EXPECT_EQ(runFilter(prog, data).verdict, 0x55667788u);
+}
+
+TEST(Bpf, LoadBadOffsetKills)
+{
+    std::vector<BpfInsn> prog = {
+        {bpf::LD | bpf::W | bpf::ABS, 0, 0, 61}, // unaligned
+        {bpf::RET | bpf::K, 0, 0, kSeccompRetAllow},
+    };
+    EXPECT_EQ(runFilter(prog, SeccompData{}).verdict, kSeccompRetKill);
+    prog[0].k = 64; // out of range
+    EXPECT_EQ(runFilter(prog, SeccompData{}).verdict, kSeccompRetKill);
+}
+
+TEST(Bpf, JeqTakenAndNotTaken)
+{
+    SeccompData data;
+    data.nr = 7;
+    std::vector<BpfInsn> prog = {
+        {bpf::LD | bpf::W | bpf::ABS, 0, 0, 0},
+        {bpf::JMP | bpf::JEQ | bpf::K, 1, 0, 7},
+        {bpf::RET | bpf::K, 0, 0, 111}, // not taken path
+        {bpf::RET | bpf::K, 0, 0, 222}, // taken path
+    };
+    EXPECT_EQ(runFilter(prog, data).verdict, 222u);
+    data.nr = 8;
+    EXPECT_EQ(runFilter(prog, data).verdict, 111u);
+}
+
+TEST(Bpf, JgtJgeJset)
+{
+    auto make = [](std::uint16_t cmp, std::uint32_t k) {
+        return std::vector<BpfInsn>{
+            {bpf::LD | bpf::W | bpf::ABS, 0, 0, 0},
+            {static_cast<std::uint16_t>(bpf::JMP | cmp | bpf::K), 0, 1, k},
+            {bpf::RET | bpf::K, 0, 0, 1}, // taken
+            {bpf::RET | bpf::K, 0, 0, 0}, // not taken
+        };
+    };
+    SeccompData data;
+    data.nr = 10;
+    EXPECT_EQ(runFilter(make(bpf::JGT, 9), data).verdict, 1u);
+    EXPECT_EQ(runFilter(make(bpf::JGT, 10), data).verdict, 0u);
+    EXPECT_EQ(runFilter(make(bpf::JGE, 10), data).verdict, 1u);
+    EXPECT_EQ(runFilter(make(bpf::JGE, 11), data).verdict, 0u);
+    EXPECT_EQ(runFilter(make(bpf::JSET, 2), data).verdict, 1u);
+    EXPECT_EQ(runFilter(make(bpf::JSET, 4), data).verdict, 0u);
+}
+
+TEST(Bpf, JaSkipsForward)
+{
+    std::vector<BpfInsn> prog = {
+        {bpf::JMP | bpf::JA, 0, 0, 1},
+        {bpf::RET | bpf::K, 0, 0, 1},
+        {bpf::RET | bpf::K, 0, 0, 2},
+    };
+    EXPECT_EQ(runFilter(prog, SeccompData{}).verdict, 2u);
+}
+
+TEST(Bpf, AluOps)
+{
+    std::vector<BpfInsn> prog = {
+        {bpf::LD | bpf::IMM, 0, 0, 0xf0},
+        {bpf::ALU | bpf::ADD | bpf::K, 0, 0, 0x0f},
+        {bpf::ALU | bpf::AND | bpf::K, 0, 0, 0xff},
+        {bpf::ALU | bpf::RSH | bpf::K, 0, 0, 4},
+        {bpf::ALU | bpf::OR | bpf::K, 0, 0, 0x100},
+        {bpf::ALU | bpf::SUB | bpf::K, 0, 0, 1},
+        {bpf::MISC | bpf::TAX, 0, 0, 0},
+        {bpf::RET | bpf::X, 0, 0, 0},
+    };
+    // ((0xf0 + 0x0f) & 0xff) >> 4 = 0xf; | 0x100 = 0x10f; - 1 = 0x10e.
+    EXPECT_EQ(runFilter(prog, SeccompData{}).verdict, 0x10eu);
+}
+
+TEST(Bpf, ScratchMemory)
+{
+    std::vector<BpfInsn> prog = {
+        {bpf::LD | bpf::IMM, 0, 0, 77},
+        {bpf::MISC | bpf::TAX, 0, 0, 0},
+        {bpf::LD | bpf::MEM, 0, 0, 3}, // mem[3] == 0
+        {bpf::ALU | bpf::ADD | bpf::X, 0, 0, 0},
+        {bpf::MISC | bpf::TAX, 0, 0, 0},
+        {bpf::RET | bpf::X, 0, 0, 0},
+    };
+    EXPECT_EQ(runFilter(prog, SeccompData{}).verdict, 77u);
+}
+
+TEST(Bpf, FallOffEndKills)
+{
+    std::vector<BpfInsn> prog = {{bpf::LD | bpf::IMM, 0, 0, 1}};
+    EXPECT_EQ(runFilter(prog, SeccompData{}).verdict, kSeccompRetKill);
+}
+
+TEST(Bpf, EmptyProgramKills)
+{
+    EXPECT_EQ(runFilter({}, SeccompData{}).verdict, kSeccompRetKill);
+}
+
+// --------------------------------------------------- allowlist filter
+
+TEST(AllowlistFilter, AllowsListedSyscalls)
+{
+    const auto filter = makeAllowlistFilter({kSysOpen, kSysRead, kSysClose});
+    for (std::uint32_t nr : {kSysOpen, kSysRead, kSysClose}) {
+        SeccompData data;
+        data.nr = nr;
+        EXPECT_EQ(runFilter(filter, data).verdict, kSeccompRetAllow) << nr;
+    }
+}
+
+TEST(AllowlistFilter, TrapsUnlistedSyscalls)
+{
+    const auto filter = makeAllowlistFilter({kSysOpen, kSysRead, kSysClose});
+    SeccompData data;
+    data.nr = kSysMmap;
+    EXPECT_EQ(runFilter(filter, data).verdict, kSeccompRetTrap);
+}
+
+TEST(AllowlistFilter, KillsWrongArchitecture)
+{
+    const auto filter = makeAllowlistFilter({kSysRead});
+    SeccompData data;
+    data.nr = kSysRead;
+    data.arch = 0x40000003; // i386
+    EXPECT_EQ(runFilter(filter, data).verdict, kSeccompRetKill);
+}
+
+TEST(AllowlistFilter, CostScalesWithPositionInList)
+{
+    std::vector<std::uint32_t> allowed;
+    for (std::uint32_t i = 0; i < 40; ++i)
+        allowed.push_back(i * 3);
+    const auto filter = makeAllowlistFilter(allowed);
+    SeccompData first;
+    first.nr = 0;
+    SeccompData last;
+    last.nr = 39 * 3;
+    EXPECT_LT(runFilter(filter, first).instructionsExecuted,
+              runFilter(filter, last).instructionsExecuted);
+}
+
+// ------------------------------------------------------- interposers
+
+class InterposerTest : public ::testing::Test
+{
+  protected:
+    vm::VirtualClock clock;
+    core::HfiContext ctx{clock};
+};
+
+TEST_F(InterposerTest, HfiInterposerMediatesAndResumes)
+{
+    core::SandboxConfig cfg;
+    cfg.isHybrid = false;
+    cfg.exitHandler = 0x7000000;
+    ctx.enter(cfg);
+
+    HfiInterposer interposer(ctx, {kSysRead, kSysOpen, kSysClose});
+    SeccompData data;
+    data.nr = kSysRead;
+    EXPECT_EQ(interposer.onSyscall(data), Verdict::Allow);
+    EXPECT_TRUE(ctx.enabled()); // re-entered after mediation
+    data.nr = kSysMmap;
+    EXPECT_EQ(interposer.onSyscall(data), Verdict::Deny);
+    EXPECT_EQ(interposer.mediated(), 2u);
+}
+
+TEST_F(InterposerTest, SeccompInterposerMatchesPolicy)
+{
+    SeccompInterposer interposer(clock, {kSysRead, kSysOpen, kSysClose});
+    SeccompData data;
+    data.nr = kSysOpen;
+    EXPECT_EQ(interposer.onSyscall(data), Verdict::Allow);
+    data.nr = kSysExitGroup;
+    EXPECT_EQ(interposer.onSyscall(data), Verdict::Deny);
+}
+
+TEST_F(InterposerTest, SeccompCostsMoreThanHfi)
+{
+    // §6.4.1: HFI's microcode redirect beats the kernel's filter
+    // execution; the 2.1% end-to-end gap comes from this difference.
+    core::SandboxConfig cfg;
+    cfg.isHybrid = false;
+    cfg.exitHandler = 0x7000000;
+    ctx.enter(cfg);
+    HfiInterposer hfi_path(ctx, {kSysRead});
+    SeccompInterposer seccomp_path(clock, {kSysRead});
+    SeccompData data;
+    data.nr = kSysRead;
+
+    const auto t0 = clock.now();
+    hfi_path.onSyscall(data);
+    const auto hfi_cost = clock.now() - t0;
+
+    const auto t1 = clock.now();
+    seccomp_path.onSyscall(data);
+    const auto seccomp_cost = clock.now() - t1;
+
+    EXPECT_GT(seccomp_cost, hfi_cost);
+}
+
+// -------------------------------------------------------- mini kernel
+
+TEST(MiniKernel, OpenReadCloseSemantics)
+{
+    vm::VirtualClock clock;
+    MiniKernel kernel(clock);
+    kernel.addFile("/srv/a.bin", 1000, 42);
+
+    EXPECT_EQ(kernel.open("/nope"), -1);
+    const int fd = kernel.open("/srv/a.bin");
+    ASSERT_GE(fd, 3);
+
+    std::uint8_t buf[600];
+    EXPECT_EQ(kernel.read(fd, buf, 600), 600);
+    EXPECT_EQ(kernel.read(fd, buf, 600), 400); // EOF-truncated
+    EXPECT_EQ(kernel.read(fd, buf, 600), 0);
+    EXPECT_TRUE(kernel.close(fd));
+    EXPECT_FALSE(kernel.close(fd));
+    EXPECT_EQ(kernel.read(fd, buf, 1), -1);
+}
+
+TEST(MiniKernel, FileContentDeterministic)
+{
+    vm::VirtualClock clock;
+    MiniKernel a(clock), b(clock);
+    a.addFile("/x", 64, 9);
+    b.addFile("/x", 64, 9);
+    EXPECT_EQ(*a.fileData("/x"), *b.fileData("/x"));
+    a.addFile("/y", 64, 10);
+    EXPECT_NE(*a.fileData("/x"), *a.fileData("/y"));
+}
+
+TEST(MiniKernel, ReadCostScalesWithBytes)
+{
+    vm::VirtualClock clock;
+    MiniKernel kernel(clock);
+    kernel.addFile("/big", 1 << 20, 1);
+    const int fd = kernel.open("/big");
+    std::vector<std::uint8_t> buf(1 << 20);
+
+    const double t0 = clock.nowNs();
+    kernel.read(fd, buf.data(), 4096);
+    const double small = clock.nowNs() - t0;
+    const double t1 = clock.nowNs();
+    kernel.read(fd, buf.data(), 1 << 19);
+    const double big = clock.nowNs() - t1;
+    EXPECT_GT(big, small);
+}
+
+} // namespace
