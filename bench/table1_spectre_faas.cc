@@ -113,10 +113,12 @@ run(const Table1Workload &workload, faas::Protection protection)
 void
 printRow(const char *scheme, const faas::RunResult &res)
 {
-    std::printf("  %-16s avg %8.2f ms   p99 %8.2f ms   thru %8.1f r/s   "
+    std::printf("  %-16s avg %8.2f ms   p50 %8.2f   p95 %8.2f   "
+                "p99 %8.2f   p99.9 %8.2f ms   thru %8.1f r/s   "
                 "bin %5.1f MiB\n",
-                scheme, res.avgLatencyNs / 1e6, res.tailLatencyNs / 1e6,
-                res.throughputRps,
+                scheme, res.avgLatencyNs / 1e6, res.p50LatencyNs / 1e6,
+                res.p95LatencyNs / 1e6, res.tailLatencyNs / 1e6,
+                res.p999LatencyNs / 1e6, res.throughputRps,
                 static_cast<double>(res.binaryBytes) / (1 << 20));
 }
 

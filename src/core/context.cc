@@ -244,4 +244,11 @@ HfiContext::xrstor(const HfiRegisterFile &file)
     return HfiResult::Ok;
 }
 
+void
+HfiContext::kernelXrstor(const HfiRegisterFile &file)
+{
+    charge(costs_.xrstorHfiCycles);
+    bank = file;
+}
+
 } // namespace hfi::core

@@ -184,6 +184,19 @@ class HfiContext
      */
     HfiResult xrstor(const HfiRegisterFile &file);
 
+    /**
+     * Ring-0 xrstor with save-hfi-regs, as executed by the OS on a
+     * context switch (§3.3.3). The kernel itself runs with HFI
+     * disabled, so — unlike the user-mode instruction above — this
+     * restore cannot trap even when the *saved* image being replaced
+     * belongs to a process preempted inside a native sandbox; it
+     * unconditionally installs @p file and charges the same xrstor
+     * cost. The switch-on-exit shadow bank is per-core state that the
+     * kernel leaves in place (the switched-in process either does not
+     * use it or re-arms it with its own hfi_enter).
+     */
+    void kernelXrstor(const HfiRegisterFile &file);
+
     /** True while HFI mode is enabled. */
     bool enabled() const { return bank.enabled; }
 

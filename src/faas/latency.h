@@ -14,13 +14,33 @@
 namespace hfi::faas
 {
 
+/** The percentile set every serving experiment reports. */
+struct Percentiles
+{
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double p999 = 0;
+};
+
 /** Accumulates per-request latencies (nanoseconds of virtual time). */
 class LatencyRecorder
 {
   public:
     void add(double ns) { samples.push_back(ns); }
 
+    /** Append every sample of @p other (per-worker accumulator merge). */
+    void
+    merge(const LatencyRecorder &other)
+    {
+        samples.insert(samples.end(), other.samples.begin(),
+                       other.samples.end());
+    }
+
     std::size_t count() const { return samples.size(); }
+
+    /** The raw samples, in recording order (for determinism tests). */
+    const std::vector<double> &values() const { return samples; }
 
     double
     mean() const
@@ -44,6 +64,27 @@ class LatencyRecorder
         const auto rank = static_cast<std::size_t>(
             p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
         return sorted[std::min(rank, sorted.size() - 1)];
+    }
+
+    /** p50/p95/p99/p999 with one sort (same nearest-rank formula). */
+    Percentiles
+    percentiles() const
+    {
+        Percentiles out;
+        if (samples.empty())
+            return out;
+        std::vector<double> sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        const auto at = [&sorted](double p) {
+            const auto rank = static_cast<std::size_t>(
+                p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+            return sorted[std::min(rank, sorted.size() - 1)];
+        };
+        out.p50 = at(50);
+        out.p95 = at(95);
+        out.p99 = at(99);
+        out.p999 = at(99.9);
+        return out;
     }
 
     /** Requests per second given the run spanned @p duration_ns. */

@@ -1,7 +1,8 @@
 #include "faas/platform.h"
 
-#include <deque>
-#include <vector>
+#include <type_traits>
+
+#include "serve/engine.h"
 
 namespace hfi::faas
 {
@@ -18,110 +19,43 @@ protectionName(Protection p)
     return "?";
 }
 
-namespace
-{
-
-/**
- * Run one request's handler under the scheme and return its service
- * time in virtual nanoseconds.
- */
-double
-serveOne(const PlatformConfig &config, sfi::Sandbox &sandbox,
-         core::HfiContext &ctx, const Handler &handler, std::uint32_t seed)
-{
-    auto &clock = ctx.clock();
-    const double t0 = clock.nowNs();
-
-    switch (config.protection) {
-      case Protection::Unsafe:
-      case Protection::Swivel:
-        // Plain springboard transition around the handler.
-        sandbox.enter();
-        handler(sandbox, seed);
-        sandbox.exit();
-        break;
-      case Protection::HfiNative: {
-        // "Two state transitions per connection" (§6.5): a serialized
-        // hfi_enter into a native sandbox around the normal springboard
-        // pair, and the matching exit.
-        core::SandboxConfig sc;
-        sc.isHybrid = false;
-        sc.isSerialized = true;
-        sc.exitHandler = 0x7000'0000;
-        ctx.enter(sc);
-        sandbox.enter();
-        handler(sandbox, seed);
-        sandbox.exit();
-        ctx.exit();
-        break;
-      }
-      case Protection::HfiSwitchOnExit: {
-        // The runtime itself sits in a serialized hybrid sandbox and
-        // launches the tenant with switch-on-exit (§4.5) — entered once
-        // per connection here.
-        core::SandboxConfig sc;
-        sc.isHybrid = false;
-        sc.switchOnExit = true;
-        ctx.enter(sc);
-        sandbox.enter();
-        handler(sandbox, seed);
-        sandbox.exit();
-        ctx.exit();
-        break;
-      }
-    }
-
-    double service = clock.nowNs() - t0;
-    if (config.protection == Protection::Swivel &&
-        config.swivelEffect.computeFactor > 1.0) {
-        // Swivel's hardening multiplies the executed cycles; charge the
-        // extra time to the clock so the whole simulation stays causal.
-        const double extra =
-            service * (config.swivelEffect.computeFactor - 1.0);
-        clock.tick(clock.nsToCycles(extra));
-        service += extra;
-    }
-    return service;
-}
-
-} // namespace
+// faas::Protection predates serve::Scheme and is kept as the public
+// FaaS-facing name; the declaration orders must stay in lockstep for
+// the cast below.
+static_assert(static_cast<int>(Protection::Unsafe) ==
+                  static_cast<int>(serve::Scheme::Unsafe) &&
+              static_cast<int>(Protection::HfiNative) ==
+                  static_cast<int>(serve::Scheme::HfiNative) &&
+              static_cast<int>(Protection::HfiSwitchOnExit) ==
+                  static_cast<int>(serve::Scheme::HfiSwitchOnExit) &&
+              static_cast<int>(Protection::Swivel) ==
+                  static_cast<int>(serve::Scheme::Swivel));
 
 RunResult
 runClosedLoop(const PlatformConfig &config, sfi::Sandbox &sandbox,
               core::HfiContext &ctx, const Handler &handler)
 {
-    auto &clock = ctx.clock();
-    LatencyRecorder latencies;
+    serve::EngineConfig ec;
+    ec.workers = 1;
+    ec.mode = serve::LoadMode::ClosedLoop;
+    ec.clients = config.clients;
+    ec.requests = config.requests;
+    ec.queueCapacity = 0;
+    ec.worker.scheme = static_cast<serve::Scheme>(config.protection);
+    ec.worker.swivelEffect = config.swivelEffect;
+    ec.worker.dispatchViaScheduler = false;
+    ec.worker.quantumNs = 0;
 
-    // Closed loop, single FIFO server: client i's next request arrives
-    // the moment its previous response lands. We track per-client
-    // "ready" times and serve the earliest-ready client next.
-    std::vector<double> ready(config.clients, clock.nowNs());
-    const double start = clock.nowNs();
-    double server_free = start;
-
-    for (unsigned r = 0; r < config.requests; ++r) {
-        // Earliest-ready client goes next (FIFO by arrival).
-        unsigned who = 0;
-        for (unsigned cl = 1; cl < config.clients; ++cl) {
-            if (ready[cl] < ready[who])
-                who = cl;
-        }
-        const double arrival = ready[who];
-        const double begin = std::max(arrival, server_free);
-
-        const double service = serveOne(config, sandbox, ctx, handler,
-                                        static_cast<std::uint32_t>(r * 2654435761u));
-        const double done = begin + service;
-        server_free = done;
-        ready[who] = done;
-        latencies.add(done - arrival);
-    }
+    const auto sr =
+        serve::ServeEngine::runResident(ec, ctx, sandbox, handler);
 
     RunResult res;
-    res.avgLatencyNs = latencies.mean();
-    res.tailLatencyNs = latencies.percentile(99);
-    res.throughputRps = latencies.throughput(server_free - start);
+    res.avgLatencyNs = sr.meanLatencyNs;
+    res.p50LatencyNs = sr.latency.p50;
+    res.p95LatencyNs = sr.latency.p95;
+    res.tailLatencyNs = sr.latency.p99;
+    res.p999LatencyNs = sr.latency.p999;
+    res.throughputRps = sr.throughputRps;
     res.binaryBytes = config.protection == Protection::Swivel
                           ? config.swivelEffect.binaryBytes
                           : config.stockBinaryBytes;

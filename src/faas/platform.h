@@ -48,7 +48,10 @@ const char *protectionName(Protection p);
 struct RunResult
 {
     double avgLatencyNs = 0;
-    double tailLatencyNs = 0; ///< p99
+    double p50LatencyNs = 0;
+    double p95LatencyNs = 0;
+    double tailLatencyNs = 0; ///< p99 (Table 1's headline tail)
+    double p999LatencyNs = 0;
     double throughputRps = 0;
     std::uint64_t binaryBytes = 0;
 };
@@ -74,6 +77,11 @@ using Handler = std::function<void(sfi::Sandbox &, std::uint32_t seed)>;
 /**
  * Run @p handler under the configured protection scheme and client
  * population and report Table 1's four cells.
+ *
+ * Since the serving engine landed this is a thin single-worker
+ * closed-loop configuration of serve::ServeEngine (resident instance,
+ * no scheduler dispatch), preserving the original cost sequence
+ * bit-for-bit.
  *
  * @param sandbox a prepared sandbox whose backend matches the scheme.
  * @param ctx the core's HFI context (used by the HFI schemes).

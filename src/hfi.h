@@ -11,6 +11,7 @@
  *  - hfi::sfi     — sandboxes, isolation backends, runtime, multi-memory
  *  - hfi::sim     — the cycle-level core and program builder
  *  - hfi::os      — process scheduling with HFI xsave/xrstor
+ *  - hfi::serve   — the multi-core sandbox serving engine
  *  - hfi::mpk     — the Intel MPK baseline
  *  - hfi::syscall — BPF/seccomp and HFI syscall interposition
  *  - hfi::swivel  — the Swivel-SFI cost model
@@ -48,6 +49,12 @@
 #include "sim/program.h"
 
 #include "os/scheduler.h"
+
+#include "serve/engine.h"
+#include "serve/load_gen.h"
+#include "serve/request.h"
+#include "serve/shard_queue.h"
+#include "serve/worker.h"
 
 #include "mpk/mpk.h"
 #include "swivel/swivel.h"

@@ -35,18 +35,26 @@ Scheduler::switchTo(int pid)
         // xsave with save-hfi-regs: capture the outgoing process's HFI
         // registers (§3.3.3)...
         processes[current].hfiState = ctx.xsave();
-        // ...and xrstor the incoming one's. The kernel runs with HFI
-        // disabled, so this cannot trap.
-        ctx.xrstor(processes[pid].hfiState);
+        // ...and restore the incoming one's through the *kernel's*
+        // xrstor. The ring-0 restore never traps — the user-mode
+        // xrstor would when the outgoing process was preempted inside
+        // a native sandbox, and taking that trap here used to leak the
+        // outgoing process's region state into the incoming one. The
+        // save/restore cycle costs from core/cost_model.h are charged
+        // on every switch.
+        ctx.kernelXrstor(processes[pid].hfiState);
     }
     current = pid;
     ++processes[pid].switchIns;
+    ++totalSwitches_;
     return true;
 }
 
 int
 Scheduler::yield()
 {
+    if (processes.empty())
+        return -1;
     const int next = (current + 1) % static_cast<int>(processes.size());
     switchTo(next);
     return next;

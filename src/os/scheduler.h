@@ -77,6 +77,9 @@ class Scheduler
     const Process &process(int pid) const { return processes[pid]; }
     std::size_t processCount() const { return processes.size(); }
 
+    /** Context switches performed since construction (for reporting). */
+    std::uint64_t totalSwitches() const { return totalSwitches_; }
+
     core::HfiContext &context() { return ctx; }
 
   private:
@@ -84,6 +87,7 @@ class Scheduler
     SchedulerCosts costs_;
     std::vector<Process> processes;
     int current = -1;
+    std::uint64_t totalSwitches_ = 0;
 };
 
 } // namespace hfi::os

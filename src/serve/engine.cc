@@ -1,0 +1,137 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "serve/shard_queue.h"
+
+namespace hfi::serve
+{
+
+ServeEngine::ServeEngine(EngineConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler))
+{
+}
+
+ServeResult
+ServeEngine::run()
+{
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.reserve(config_.workers);
+    for (unsigned w = 0; w < config_.workers; ++w)
+        workers.push_back(
+            std::make_unique<Worker>(w, config_.worker, handler_));
+
+    if (config_.mode == LoadMode::ClosedLoop) {
+        ClosedLoopSource source(config_.clients, config_.requests, 0.0);
+        return drive(workers, source, config_, 0.0);
+    }
+    OpenLoopPoissonSource source(config_.requests,
+                                 config_.meanInterarrivalNs, config_.seed,
+                                 0.0);
+    return drive(workers, source, config_, 0.0);
+}
+
+ServeResult
+ServeEngine::runResident(const EngineConfig &config, core::HfiContext &ctx,
+                         sfi::Sandbox &sandbox, const Handler &handler)
+{
+    const double start = ctx.clock().nowNs();
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.push_back(
+        std::make_unique<Worker>(0, config.worker, handler, ctx, sandbox));
+
+    if (config.mode == LoadMode::ClosedLoop) {
+        ClosedLoopSource source(config.clients, config.requests, start);
+        return drive(workers, source, config, start);
+    }
+    OpenLoopPoissonSource source(config.requests, config.meanInterarrivalNs,
+                                 config.seed, start);
+    return drive(workers, source, config, start);
+}
+
+ServeResult
+ServeEngine::drive(std::vector<std::unique_ptr<Worker>> &workers,
+                   ArrivalSource &source, const EngineConfig &config,
+                   double start_ns)
+{
+    const unsigned n = static_cast<unsigned>(workers.size());
+    ShardedQueues queues(n, config.queueCapacity);
+    std::size_t stolen = 0;
+
+    std::optional<Request> staged = source.next();
+
+    while (true) {
+        // The earliest possible service start across all cores: each
+        // worker considers its own shard first, then (work stealing)
+        // the deepest other shard. Ties break to the lowest core index,
+        // so the schedule is a pure function of the configuration.
+        int bestWorker = -1;
+        int bestShard = -1;
+        double bestStart = 0;
+        for (unsigned w = 0; w < n; ++w) {
+            const int shard = queues.pickFor(w, config.workStealing);
+            if (shard < 0)
+                continue;
+            const double start = std::max(
+                workers[w]->freeNs(),
+                queues.front(static_cast<unsigned>(shard)).arrivalNs);
+            if (bestWorker < 0 || start < bestStart) {
+                bestWorker = static_cast<int>(w);
+                bestShard = shard;
+                bestStart = start;
+            }
+        }
+
+        // Admit any arrival that happens strictly before that start
+        // (at an exact tie the server dequeues first, so an arrival at
+        // the same instant sees the freed slot).
+        if (staged &&
+            (bestWorker < 0 || staged->arrivalNs < bestStart)) {
+            const unsigned shard =
+                config.sharding == Sharding::SingleShard
+                    ? 0
+                    : static_cast<unsigned>(staged->id % n);
+            queues.offer(shard, *staged);
+            staged = source.next();
+            continue;
+        }
+
+        if (bestWorker < 0)
+            break; // no queued work and the source is dry
+
+        const Request req = queues.take(static_cast<unsigned>(bestShard));
+        if (bestShard != bestWorker)
+            ++stolen;
+        const auto outcome = workers[bestWorker]->serve(req);
+        if (outcome.ok)
+            source.onComplete(req, outcome.doneNs);
+        // A closed-loop source may only now have a next arrival.
+        if (!staged)
+            staged = source.next();
+    }
+
+    ServeResult res;
+    res.shed = queues.shedCount();
+    res.stolen = stolen;
+    res.maxQueueDepth = queues.maxDepth();
+    double lastFree = start_ns;
+    for (const auto &w : workers) {
+        const auto &stats = w->stats();
+        res.served += stats.served;
+        res.rejected += stats.rejected;
+        res.preemptions += stats.preemptions;
+        res.instancesCreated += stats.instancesCreated;
+        res.reclaimBatches += stats.reclaimBatches;
+        res.hfiStateMismatches += stats.hfiStateMismatches;
+        res.contextSwitches += w->contextSwitches();
+        res.latencies.merge(w->latencies());
+        lastFree = std::max(lastFree, w->freeNs());
+    }
+    res.durationNs = lastFree - start_ns;
+    res.throughputRps = res.latencies.throughput(res.durationNs);
+    res.meanLatencyNs = res.latencies.mean();
+    res.latency = res.latencies.percentiles();
+    return res;
+}
+
+} // namespace hfi::serve

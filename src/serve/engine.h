@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The multi-core sandbox serving engine.
+ *
+ * N simulated cores — each a serve::Worker with its own VirtualClock,
+ * Mmu arena, HfiContext (per-core region registers and exit-reason MSR)
+ * and os::Scheduler — pull requests from sharded run queues with work
+ * stealing and serve them under a Table 1 protection scheme. Load is
+ * generated either open-loop (seeded Poisson arrivals, with bounded
+ * queues and shedding at admission) or closed-loop (the Table 1 client
+ * population). Per-worker latency accumulators are merged into global
+ * p50/p95/p99/p999.
+ *
+ * The engine is a sequential discrete-event simulation: at every step
+ * the earliest actionable event (an arrival, or the earliest possible
+ * service start across all cores, ties to the lowest core index) is
+ * processed. All state is seeded and virtual-clocked, so a run is
+ * bit-for-bit reproducible — and, when requests do not contend, the
+ * per-request latency multiset is identical for any worker count.
+ */
+
+#ifndef HFI_SERVE_ENGINE_H
+#define HFI_SERVE_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "faas/latency.h"
+#include "serve/load_gen.h"
+#include "serve/request.h"
+#include "serve/worker.h"
+
+namespace hfi::serve
+{
+
+/** How arrivals are generated. */
+enum class LoadMode
+{
+    OpenLoop,   ///< seeded Poisson process at a fixed rate
+    ClosedLoop, ///< fixed client population, send-on-response
+};
+
+/** How arrivals map to queue shards. */
+enum class Sharding
+{
+    RoundRobin,  ///< request id modulo worker count
+    SingleShard, ///< everything lands on shard 0 (stealing stress test)
+};
+
+struct EngineConfig
+{
+    unsigned workers = 1;
+    LoadMode mode = LoadMode::OpenLoop;
+
+    /** Total requests to generate. */
+    unsigned requests = 400;
+    /** Open loop: mean interarrival gap in virtual ns. */
+    double meanInterarrivalNs = 100'000.0;
+    /** Closed loop: client population. */
+    unsigned clients = 100;
+    /** Master seed for arrivals and per-request handler seeds. */
+    std::uint64_t seed = 1;
+
+    /** Per-shard queue bound; 0 = unbounded (no shedding). */
+    std::size_t queueCapacity = 0;
+    bool workStealing = true;
+    Sharding sharding = Sharding::RoundRobin;
+
+    /** Per-worker knobs (scheme, pool, scheduler, quantum). */
+    WorkerConfig worker{};
+};
+
+/** Merged engine-wide results. */
+struct ServeResult
+{
+    std::size_t served = 0;
+    std::size_t shed = 0;     ///< dropped at admission (queue full)
+    std::size_t rejected = 0; ///< dropped at dispatch (pool exhausted)
+    std::size_t stolen = 0;   ///< requests served off another shard
+    std::size_t maxQueueDepth = 0;
+
+    double durationNs = 0; ///< first arrival issue to last completion
+    double throughputRps = 0;
+    double meanLatencyNs = 0;
+    faas::Percentiles latency{};
+
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t instancesCreated = 0;
+    std::uint64_t reclaimBatches = 0;
+    std::uint64_t hfiStateMismatches = 0;
+
+    /** Merged per-request latencies (service order), for tests. */
+    faas::LatencyRecorder latencies{};
+};
+
+class ServeEngine
+{
+  public:
+    ServeEngine(EngineConfig config, Handler handler);
+
+    /** Run with owned per-core stacks (the normal configuration). */
+    ServeResult run();
+
+    /**
+     * Single-worker run on the caller's clock/context with a resident
+     * caller-owned sandbox — the faas::runClosedLoop compatibility
+     * path.
+     */
+    static ServeResult runResident(const EngineConfig &config,
+                                   core::HfiContext &ctx,
+                                   sfi::Sandbox &sandbox,
+                                   const Handler &handler);
+
+  private:
+    static ServeResult drive(std::vector<std::unique_ptr<Worker>> &workers,
+                             ArrivalSource &source,
+                             const EngineConfig &config, double start_ns);
+
+    EngineConfig config_;
+    Handler handler_;
+};
+
+} // namespace hfi::serve
+
+#endif // HFI_SERVE_ENGINE_H

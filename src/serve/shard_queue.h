@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Sharded run queues with bounded capacity and work stealing.
+ *
+ * Each simulated core owns one shard; arrivals hash to a shard and an
+ * idle core whose own shard is dry steals the *oldest* request from the
+ * deepest other shard (FIFO stealing — kind to tail latency, unlike
+ * LIFO deque stealing which is kind to cache locality we don't model).
+ * A full shard sheds the arrival at admission: under open-loop overload
+ * the only alternatives are unbounded queues (unbounded tail latency)
+ * or backpressure, and an open loop by definition cannot be pushed
+ * back on.
+ */
+
+#ifndef HFI_SERVE_SHARD_QUEUE_H
+#define HFI_SERVE_SHARD_QUEUE_H
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace hfi::serve
+{
+
+class ShardedQueues
+{
+  public:
+    /** @p capacity bounds each shard's depth; 0 means unbounded. */
+    ShardedQueues(unsigned shards, std::size_t capacity)
+        : queues(shards), capacity_(capacity)
+    {
+    }
+
+    /** Admit @p req to @p shard. @return false when the shard is full. */
+    bool
+    offer(unsigned shard, const Request &req)
+    {
+        auto &q = queues[shard];
+        if (capacity_ != 0 && q.size() >= capacity_) {
+            ++shed_;
+            return false;
+        }
+        q.push_back(req);
+        maxDepth_ = std::max(maxDepth_, q.size());
+        return true;
+    }
+
+    /**
+     * The shard worker @p worker should serve from next: its own shard
+     * if non-empty, otherwise (with @p steal) the deepest other shard,
+     * ties to the lowest index. @return -1 when every queue is empty.
+     */
+    int
+    pickFor(unsigned worker, bool steal) const
+    {
+        if (!queues[worker].empty())
+            return static_cast<int>(worker);
+        if (!steal)
+            return -1;
+        int best = -1;
+        std::size_t bestDepth = 0;
+        for (unsigned s = 0; s < queues.size(); ++s) {
+            if (s == worker)
+                continue;
+            if (queues[s].size() > bestDepth) {
+                bestDepth = queues[s].size();
+                best = static_cast<int>(s);
+            }
+        }
+        return best;
+    }
+
+    const Request &front(unsigned shard) const { return queues[shard].front(); }
+
+    Request
+    take(unsigned shard)
+    {
+        Request req = queues[shard].front();
+        queues[shard].pop_front();
+        return req;
+    }
+
+    bool
+    empty() const
+    {
+        for (const auto &q : queues)
+            if (!q.empty())
+                return false;
+        return true;
+    }
+
+    std::size_t size(unsigned shard) const { return queues[shard].size(); }
+    std::size_t shedCount() const { return shed_; }
+    std::size_t maxDepth() const { return maxDepth_; }
+
+  private:
+    std::vector<std::deque<Request>> queues;
+    std::size_t capacity_;
+    std::size_t shed_ = 0;
+    std::size_t maxDepth_ = 0;
+};
+
+} // namespace hfi::serve
+
+#endif // HFI_SERVE_SHARD_QUEUE_H

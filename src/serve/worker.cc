@@ -1,0 +1,215 @@
+#include "serve/worker.h"
+
+#include <algorithm>
+
+namespace hfi::serve
+{
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Unsafe: return "Lucet(Unsafe)";
+      case Scheme::HfiNative: return "Lucet+HFI";
+      case Scheme::HfiSwitchOnExit: return "Lucet+HFI(soe)";
+      case Scheme::Swivel: return "Lucet+Swivel";
+    }
+    return "?";
+}
+
+Worker::Worker(unsigned index, const WorkerConfig &config,
+               const Handler &handler)
+    : index_(index), config_(config), handler_(handler)
+{
+    ownClock = std::make_unique<vm::VirtualClock>();
+    ownMmu = std::make_unique<vm::Mmu>(*ownClock, config_.vaBits);
+    ownCtx = std::make_unique<core::HfiContext>(*ownClock);
+    sfi::RuntimeConfig rc;
+    rc.backend = config_.backend;
+    runtime = std::make_unique<sfi::Runtime>(*ownMmu, *ownCtx, rc);
+    clock_ = ownClock.get();
+    ctx_ = ownCtx.get();
+
+    sched_.emplace(*ctx_, config_.schedulerCosts);
+    serverPid = sched_->createProcess("server-core" + std::to_string(index));
+    tenantPid = sched_->createProcess("tenant-core" + std::to_string(index));
+    freeNs_ = clock_->nowNs();
+}
+
+Worker::Worker(unsigned index, const WorkerConfig &config,
+               const Handler &handler, core::HfiContext &ctx,
+               sfi::Sandbox &resident_sandbox)
+    : index_(index), config_(config), handler_(handler)
+{
+    // Borrowed mode serves on the caller's clock against a resident
+    // instance; the scheduler path is disabled so the cost sequence is
+    // exactly the original closed-loop serveOne.
+    config_.dispatchViaScheduler = false;
+    config_.quantumNs = 0;
+    clock_ = &ctx.clock();
+    ctx_ = &ctx;
+    resident = &resident_sandbox;
+    freeNs_ = clock_->nowNs();
+}
+
+void
+Worker::preemptForQuantum(double service_start_ns)
+{
+    if (config_.quantumNs <= 0 || !sched_ || !config_.dispatchViaScheduler)
+        return;
+    const double elapsed = clock_->nowNs() - service_start_ns;
+    auto slices =
+        static_cast<std::uint64_t>(elapsed / config_.quantumNs);
+    // A sanity cap: one request cannot eat more timer ticks than a
+    // pathological config would generate (keeps runaway costs bounded).
+    slices = std::min<std::uint64_t>(slices, 64);
+
+    const bool wasEnabled = ctx_->enabled();
+    const core::SandboxConfig wasConfig = ctx_->config();
+    for (std::uint64_t i = 0; i < slices; ++i) {
+        // Timer fires: the kernel switches to another process and back,
+        // xsave/xrstor-ing the live HFI register file both ways.
+        sched_->switchTo(serverPid);
+        sched_->switchTo(tenantPid);
+        ++stats_.preemptions;
+    }
+    // The §3.3.3 guarantee: a process preempted mid-sandbox resumes
+    // still sandboxed, with the same configuration.
+    if (ctx_->enabled() != wasEnabled ||
+        (wasEnabled &&
+         (ctx_->config().isHybrid != wasConfig.isHybrid ||
+          ctx_->config().switchOnExit != wasConfig.switchOnExit ||
+          ctx_->config().isSerialized != wasConfig.isSerialized)))
+        ++stats_.hfiStateMismatches;
+}
+
+void
+Worker::runProtected(sfi::Sandbox &sandbox, std::uint32_t seed,
+                     double service_start_ns)
+{
+    switch (config_.scheme) {
+      case Scheme::Unsafe:
+      case Scheme::Swivel:
+        // Plain springboard transition around the handler.
+        sandbox.enter();
+        handler_(sandbox, seed);
+        preemptForQuantum(service_start_ns);
+        sandbox.exit();
+        break;
+      case Scheme::HfiNative: {
+        // "Two state transitions per connection" (§6.5): a serialized
+        // hfi_enter into a native sandbox around the normal springboard
+        // pair, and the matching exit.
+        core::SandboxConfig sc;
+        sc.isHybrid = false;
+        sc.isSerialized = true;
+        sc.exitHandler = 0x7000'0000;
+        ctx_->enter(sc);
+        sandbox.enter();
+        handler_(sandbox, seed);
+        preemptForQuantum(service_start_ns);
+        sandbox.exit();
+        ctx_->exit();
+        break;
+      }
+      case Scheme::HfiSwitchOnExit: {
+        // The runtime itself sits in a serialized hybrid sandbox and
+        // launches the tenant with switch-on-exit (§4.5) — entered once
+        // per connection here.
+        core::SandboxConfig sc;
+        sc.isHybrid = false;
+        sc.switchOnExit = true;
+        ctx_->enter(sc);
+        sandbox.enter();
+        handler_(sandbox, seed);
+        preemptForQuantum(service_start_ns);
+        sandbox.exit();
+        ctx_->exit();
+        break;
+      }
+    }
+}
+
+void
+Worker::retire(std::unique_ptr<sfi::Sandbox> instance)
+{
+    retired.push_back(std::move(instance));
+    if (retired.size() < config_.teardownBatch || !runtime)
+        return;
+    // One madvise spanning the whole batch of adjacent instances — the
+    // §6.3.1 batched teardown; destruction then releases the VA so the
+    // pool's arena stays bounded.
+    std::vector<sfi::Sandbox *> raw;
+    raw.reserve(retired.size());
+    for (const auto &s : retired)
+        raw.push_back(s.get());
+    runtime->reclaim(raw, config_.reclaimPolicy, retired.size());
+    ++stats_.reclaimBatches;
+    retired.clear();
+}
+
+Worker::Outcome
+Worker::serve(const Request &req)
+{
+    // Queueing is arithmetic (the clock never idles): service begins at
+    // the later of the worker becoming free and the request arriving.
+    const double begin = std::max(freeNs_, req.arrivalNs);
+    const double service_start = clock_->nowNs();
+
+    if (config_.dispatchViaScheduler && sched_)
+        sched_->switchTo(tenantPid);
+
+    sfi::Sandbox *sandbox = resident;
+    std::unique_ptr<sfi::Sandbox> fresh;
+    if (!sandbox) {
+        // FaaS instance-per-request: a cold instance from this core's
+        // pool shard. Creation cost (mmap + backend setup) is part of
+        // the request's latency, as it is on a real platform.
+        fresh = runtime->createSandbox(config_.sandboxOptions);
+        if (!fresh) {
+            ++stats_.rejected;
+            if (config_.dispatchViaScheduler && sched_)
+                sched_->switchTo(serverPid);
+            return {};
+        }
+        ++stats_.instancesCreated;
+        sandbox = fresh.get();
+    }
+
+    runProtected(*sandbox, req.seed, service_start);
+
+    double service = clock_->nowNs() - service_start;
+    if (config_.scheme == Scheme::Swivel &&
+        config_.swivelEffect.computeFactor > 1.0) {
+        // Swivel's hardening multiplies the executed cycles; charge the
+        // extra time to the clock so the whole simulation stays causal.
+        const double extra =
+            service * (config_.swivelEffect.computeFactor - 1.0);
+        clock_->tick(clock_->nsToCycles(extra));
+        service += extra;
+    }
+    const double done = begin + service;
+
+    // Post-response work — retiring the instance (with its batched
+    // madvise teardown when the batch fills) and switching back to the
+    // server process — delays the *next* request but is invisible to
+    // this one's latency: the response has already left.
+    const double post_start = clock_->nowNs();
+    if (fresh)
+        retire(std::move(fresh));
+    if (config_.dispatchViaScheduler && sched_)
+        sched_->switchTo(serverPid);
+    const double post = clock_->nowNs() - post_start;
+
+    freeNs_ = done + post;
+    ++stats_.served;
+    latencies_.add(done - req.arrivalNs);
+
+    Outcome out;
+    out.ok = true;
+    out.doneNs = done;
+    out.latencyNs = done - req.arrivalNs;
+    return out;
+}
+
+} // namespace hfi::serve

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * One simulated serving core.
+ *
+ * A Worker owns a full per-core stack — VirtualClock, Mmu (its address-
+ * space shard), HfiContext (per-core region registers and exit-reason
+ * MSR, §3.3.3), sfi::Runtime, and an os::Scheduler — plus the shard of
+ * the instance pool it serves requests from. Request dispatch goes
+ * through the scheduler: switching onto the tenant process (and the
+ * timer preemptions a long handler suffers) xsave/xrstors the HFI
+ * register file with the §3.3.3 save-hfi-regs flag, so the OS-side cost
+ * of HFI is charged on every context switch and the register state is
+ * round-tripped while a sandbox is live.
+ *
+ * The worker's clock only accumulates *busy* time; idle gaps are
+ * handled arithmetically by the engine (begin = max(freeNs, arrival)),
+ * exactly like the original closed-loop model. That keeps per-request
+ * service independent of arrival spacing, which is what makes latency
+ * multisets reproducible across worker counts.
+ *
+ * A Worker can instead *borrow* a caller-provided clock/context/sandbox
+ * (resident-instance mode): that is how faas::runClosedLoop becomes a
+ * thin single-worker configuration of this engine without perturbing
+ * Table 1.
+ */
+
+#ifndef HFI_SERVE_WORKER_H
+#define HFI_SERVE_WORKER_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/context.h"
+#include "faas/latency.h"
+#include "os/scheduler.h"
+#include "serve/request.h"
+#include "sfi/runtime.h"
+#include "swivel/swivel.h"
+#include "vm/mmu.h"
+#include "vm/virtual_clock.h"
+
+namespace hfi::serve
+{
+
+/** Per-worker configuration (shared by all workers of one engine). */
+struct WorkerConfig
+{
+    Scheme scheme = Scheme::Unsafe;
+    /** Swivel effect (used when scheme == Swivel). */
+    swivel::SwivelEffect swivelEffect{};
+
+    /** Dispatch requests through the os::Scheduler (tenant process). */
+    bool dispatchViaScheduler = true;
+    /**
+     * Timer quantum in virtual ns; a handler running longer is
+     * preempted once per elapsed quantum (a context-switch round trip
+     * with the HFI state xsave/xrstored mid-sandbox). 0 disables.
+     */
+    double quantumNs = 0;
+
+    /** Isolation backend for pool instances. */
+    sfi::BackendKind backend = sfi::BackendKind::Hfi;
+    sfi::SandboxOptions sandboxOptions{1, 64};
+    /** Retired instances per batched-madvise teardown (§6.3.1). */
+    std::size_t teardownBatch = 32;
+    sfi::ReclaimPolicy reclaimPolicy = sfi::ReclaimPolicy::Batched;
+
+    /** Address-space width of each core's arena. */
+    unsigned vaBits = 48;
+    os::SchedulerCosts schedulerCosts{};
+};
+
+/** Counters one worker accumulates; merged by the engine. */
+struct WorkerStats
+{
+    std::uint64_t served = 0;
+    std::uint64_t instancesCreated = 0;
+    std::uint64_t reclaimBatches = 0;
+    std::uint64_t preemptions = 0;
+    /** Instance-pool creation failures (address space exhausted). */
+    std::uint64_t rejected = 0;
+    /**
+     * Times the HFI enabled/config state did not survive a preemption
+     * save/restore round trip. Always 0 unless the §3.3.3 kernel
+     * restore path regresses; asserted by tests.
+     */
+    std::uint64_t hfiStateMismatches = 0;
+};
+
+class Worker
+{
+  public:
+    /** Owned-resources worker: a full per-core stack. */
+    Worker(unsigned index, const WorkerConfig &config,
+           const Handler &handler);
+
+    /**
+     * Borrowed-resources worker: serve on the caller's clock/context
+     * with a caller-owned resident sandbox (no pool, no scheduler).
+     */
+    Worker(unsigned index, const WorkerConfig &config,
+           const Handler &handler, core::HfiContext &ctx,
+           sfi::Sandbox &resident);
+
+    Worker(Worker &&) = delete;
+
+    /** Virtual time at which this worker can next begin service. */
+    double freeNs() const { return freeNs_; }
+
+    struct Outcome
+    {
+        bool ok = false;
+        double doneNs = 0;    ///< response completion time
+        double latencyNs = 0; ///< doneNs - arrival
+    };
+
+    /** Serve @p req to completion (called by the engine event loop). */
+    Outcome serve(const Request &req);
+
+    const WorkerStats &stats() const { return stats_; }
+    const faas::LatencyRecorder &latencies() const { return latencies_; }
+    core::HfiContext &context() { return *ctx_; }
+    std::uint64_t
+    contextSwitches() const
+    {
+        return sched_ ? sched_->totalSwitches() : 0;
+    }
+
+  private:
+    /** Run the handler under the configured protection scheme. */
+    void runProtected(sfi::Sandbox &sandbox, std::uint32_t seed,
+                      double service_start_ns);
+    /** Timer preemptions for a handler that ran past the quantum. */
+    void preemptForQuantum(double service_start_ns);
+    void retire(std::unique_ptr<sfi::Sandbox> instance);
+
+    unsigned index_;
+    WorkerConfig config_;
+    Handler handler_;
+
+    // Owned per-core stack (null in borrowed mode).
+    std::unique_ptr<vm::VirtualClock> ownClock;
+    std::unique_ptr<vm::Mmu> ownMmu;
+    std::unique_ptr<core::HfiContext> ownCtx;
+    std::unique_ptr<sfi::Runtime> runtime;
+
+    vm::VirtualClock *clock_ = nullptr;
+    core::HfiContext *ctx_ = nullptr;
+    sfi::Sandbox *resident = nullptr;
+
+    std::optional<os::Scheduler> sched_;
+    int serverPid = -1;
+    int tenantPid = -1;
+
+    /** Retired instances awaiting the next batched teardown. */
+    std::vector<std::unique_ptr<sfi::Sandbox>> retired;
+
+    double freeNs_ = 0;
+    WorkerStats stats_;
+    faas::LatencyRecorder latencies_;
+};
+
+} // namespace hfi::serve
+
+#endif // HFI_SERVE_WORKER_H

@@ -136,6 +136,68 @@ TEST_F(SchedulerTest, SwitchChargesKernelAndXsaveCosts)
     EXPECT_LT(clock.now() - t1, with_hfi);
 }
 
+TEST_F(SchedulerTest, NativeSandboxStateSurvivesSwitchRoundTrip)
+{
+    // The serving engine's preemption path: a process is switched out
+    // while inside a *native* (non-hybrid) sandbox. The user-mode
+    // xrstor traps in that state (§3.3.3) — the kernel's ring-0 restore
+    // must not, or the incoming process inherits the outgoing one's
+    // region file.
+    const int a = sched.createProcess("tenant");
+    const int b = sched.createProcess("server");
+
+    ctx.setRegion(2, core::Region{region(0x1000)});
+    core::SandboxConfig cfg;
+    cfg.isHybrid = false;
+    cfg.isSerialized = true;
+    cfg.exitHandler = 0x7000'0000;
+    ctx.enter(cfg);
+    ASSERT_TRUE(ctx.enabled());
+
+    // Switch away: the other process sees a clean, usable context.
+    ASSERT_TRUE(sched.switchTo(b));
+    EXPECT_FALSE(ctx.enabled());
+    EXPECT_EQ(ctx.setRegion(3, core::Region{region(0x9000)}),
+              core::HfiResult::Ok);
+
+    // Switch back: the tenant resumes mid-native-sandbox with its
+    // region lock intact — setRegion still traps, enforcement still
+    // follows the restored region file.
+    ASSERT_TRUE(sched.switchTo(a));
+    EXPECT_TRUE(ctx.enabled());
+    EXPECT_FALSE(ctx.config().isHybrid);
+    EXPECT_EQ(ctx.setRegion(2, core::Region{region(0x5000)}),
+              core::HfiResult::Trap);
+    EXPECT_TRUE(core::AccessChecker::checkData(ctx, 0x1800, 4, false).ok);
+    EXPECT_FALSE(core::AccessChecker::checkData(ctx, 0x9800, 4, false).ok);
+}
+
+TEST_F(SchedulerTest, SwitchChargesExactXsaveXrstorCosts)
+{
+    // The save/restore cost from core/cost_model.h is charged on every
+    // switch: the flat kernel context-switch time plus one xsave and
+    // one xrstor of the HFI register file.
+    sched.createProcess("a");
+    const int b = sched.createProcess("b");
+    const auto t0 = clock.now();
+    sched.switchTo(b);
+    const core::HfiCostParams costs;
+    const SchedulerCosts sched_costs;
+    EXPECT_EQ(clock.now() - t0,
+              clock.nsToCycles(sched_costs.contextSwitchNs) +
+                  costs.xsaveHfiCycles + costs.xrstorHfiCycles);
+}
+
+TEST_F(SchedulerTest, SwitchCountIsTracked)
+{
+    sched.createProcess("a");
+    const int b = sched.createProcess("b");
+    EXPECT_EQ(sched.totalSwitches(), 0u);
+    sched.switchTo(b);
+    sched.yield();
+    EXPECT_EQ(sched.totalSwitches(), 2u);
+}
+
 TEST_F(SchedulerTest, UnknownPidRejected)
 {
     sched.createProcess("only");
