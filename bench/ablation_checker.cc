@@ -31,7 +31,7 @@ makeBank(bool large)
     region.permRead = true;
     region.permWrite = true;
     region.isLargeRegion = large;
-    bank.regions[kFirstExplicitRegion] = region;
+    bank.setRegion(kFirstExplicitRegion, region);
     return bank;
 }
 
@@ -79,7 +79,7 @@ BM_CheckImplicitFirstMatch(benchmark::State &state)
         r.basePrefix = 0x10000000ULL * (slot + 1);
         r.lsbMask = 0xffff;
         r.permRead = true;
-        bank.regions[slot] = r;
+        bank.setRegion(slot, r);
     }
     const auto hit_slot = static_cast<unsigned>(state.range(0));
     const std::uint64_t addr = 0x10000000ULL * (hit_slot + 1) + 0x100;

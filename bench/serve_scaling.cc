@@ -21,7 +21,9 @@
  * reproducible across invocations.
  */
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "serve/engine.h"
@@ -136,11 +138,72 @@ admissionControlDemo()
                 "the whole backlog)\n");
 }
 
+/**
+ * --threads mode: run each core count threaded (one host std::thread
+ * per simulated core) and sequentially, both with stealing off so the
+ * shards decompose, and require the results to be bit-identical —
+ * every merged statistic and every per-request latency sample. Exits
+ * nonzero on the first mismatch (CI gates on this).
+ */
+int
+threadedEquivalenceGate()
+{
+    std::printf("Threaded-vs-sequential equivalence gate (open loop, "
+                "round robin, no stealing)\n");
+    std::printf("  %5s %7s %9s %9s %7s %10s\n", "cores", "served",
+                "thru r/s", "p99 us", "threads", "identical");
+    int failures = 0;
+    for (unsigned workers : {2u, 4u, 8u}) {
+        auto cfg = baseConfig(workers, Scheme::HfiNative);
+        cfg.workStealing = false;
+        cfg.queueCapacity = 64; // exercise shedding under decomposition
+        cfg.realThreads = true;
+        const auto threaded =
+            ServeEngine(cfg, handlerWithOps(250'000)).run();
+        cfg.realThreads = false;
+        const auto sequential =
+            ServeEngine(cfg, handlerWithOps(250'000)).run();
+
+        bool same = threaded.usedThreads == workers &&
+                    sequential.usedThreads == 1 &&
+                    threaded.served == sequential.served &&
+                    threaded.shed == sequential.shed &&
+                    threaded.rejected == sequential.rejected &&
+                    threaded.maxQueueDepth == sequential.maxQueueDepth &&
+                    threaded.contextSwitches == sequential.contextSwitches &&
+                    threaded.preemptions == sequential.preemptions &&
+                    threaded.durationNs == sequential.durationNs &&
+                    threaded.throughputRps == sequential.throughputRps &&
+                    threaded.meanLatencyNs == sequential.meanLatencyNs &&
+                    threaded.latency.p50 == sequential.latency.p50 &&
+                    threaded.latency.p99 == sequential.latency.p99 &&
+                    threaded.latency.p999 == sequential.latency.p999 &&
+                    threaded.latencies.values() ==
+                        sequential.latencies.values();
+        if (!same)
+            ++failures;
+        std::printf("  %5u %7zu %9.0f %9.1f %7u %10s\n", workers,
+                    threaded.served, threaded.throughputRps,
+                    threaded.latency.p99 / 1e3, threaded.usedThreads,
+                    same ? "yes" : "NO");
+    }
+    if (failures)
+        std::printf("FAIL: %d core count(s) diverged between threaded "
+                    "and sequential runs\n", failures);
+    else
+        std::printf("OK: threaded runs are bit-identical to the "
+                    "sequential event loop\n");
+    return failures ? 1 : 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--threads") == 0)
+        return threadedEquivalenceGate();
+
     std::printf("Serving-engine scaling: open-loop Poisson load, "
                 "per-core HFI contexts,\n1600 requests, ~80 us "
                 "handlers, 50 us preemption quantum\n");

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Simulator throughput: simulated-instructions-per-second of the
+ * functional core and the cycle-level pipeline on the Fig 2 kernels,
+ * in both protection renderings (hardware HFI and compiler emulation).
+ *
+ * This is the repo's perf-trajectory baseline: every interpreter
+ * hot-path change (fetch indexing, paged memory, region-check
+ * flattening) must move these numbers, and regressions show up as a
+ * drop in the JSON this bench emits (BENCH_sim_throughput.json).
+ *
+ * Simulated work per rep is deterministic (seeded kernels on virtual
+ * state); only host wall time varies, so instructions/sec is an honest
+ * measure of interpreter speed.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/functional.h"
+#include "sim/kernels.h"
+#include "sim/pipeline.h"
+
+namespace
+{
+
+using namespace hfi::sim;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kScale = 2;
+constexpr std::uint32_t kStageSeed = 42;
+
+/** One measured configuration. */
+struct Row
+{
+    std::string kernel;
+    std::string mode;
+    std::string core;
+    std::uint64_t instructionsPerRep = 0;
+    std::uint64_t reps = 0;
+    double hostNs = 0;
+    double ips = 0; ///< simulated instructions per host second
+};
+
+double
+elapsedNs(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::nano>(Clock::now() - start)
+        .count();
+}
+
+/** Repeat @p rep until ~0.15 host-seconds have accumulated. */
+template <typename Rep>
+Row
+measure(const hfi::sim::kernels::Kernel &kernel, kernels::Mode mode,
+        const char *core, Rep rep)
+{
+    Row row;
+    row.kernel = kernel.name;
+    row.mode = mode == kernels::Mode::HfiHardware ? "hw" : "emu";
+    row.core = core;
+
+    // Warm one rep (page faults, code layout) before timing.
+    row.instructionsPerRep = rep();
+
+    const auto start = Clock::now();
+    double ns = 0;
+    std::uint64_t reps = 0;
+    do {
+        rep();
+        ++reps;
+        ns = elapsedNs(start);
+    } while (ns < 0.15e9);
+    row.reps = reps;
+    row.hostNs = ns;
+    row.ips = static_cast<double>(row.instructionsPerRep) *
+              static_cast<double>(reps) * 1e9 / ns;
+    return row;
+}
+
+Row
+measureFunctional(const hfi::sim::kernels::Kernel &kernel, kernels::Mode mode)
+{
+    const Program prog = kernel.build(mode, kScale);
+    return measure(kernel, mode, "functional", [&]() {
+        ArchState state;
+        state.pc = prog.base();
+        SimMemory mem;
+        kernel.stage(mem, kScale, kStageSeed);
+        return FunctionalCore::run(prog, state, mem);
+    });
+}
+
+Row
+measurePipeline(const hfi::sim::kernels::Kernel &kernel, kernels::Mode mode)
+{
+    const Program prog = kernel.build(mode, kScale);
+    return measure(kernel, mode, "pipeline", [&]() {
+        Pipeline pipe(prog);
+        kernel.stage(pipe.memory(), kScale, kStageSeed);
+        const PipelineResult res = pipe.run(500'000'000);
+        return res.instructions;
+    });
+}
+
+double
+geomeanIps(const std::vector<Row> &rows, const char *core)
+{
+    double log_sum = 0;
+    int n = 0;
+    for (const Row &r : rows) {
+        if (r.core != core || r.ips <= 0)
+            continue;
+        log_sum += std::log(r.ips);
+        ++n;
+    }
+    return n ? std::exp(log_sum / n) : 0;
+}
+
+void
+emitJson(const std::vector<Row> &rows, double func_geo, double pipe_geo)
+{
+    FILE *f = std::fopen("BENCH_sim_throughput.json", "w");
+    if (!f) {
+        std::perror("BENCH_sim_throughput.json");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n");
+    std::fprintf(f, "  \"scale\": %llu,\n",
+                 static_cast<unsigned long long>(kScale));
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(f,
+                     "    {\"core\": \"%s\", \"kernel\": \"%s\", "
+                     "\"mode\": \"%s\", \"instructions_per_rep\": %llu, "
+                     "\"reps\": %llu, \"host_ns\": %.0f, "
+                     "\"sim_insts_per_sec\": %.0f}%s\n",
+                     r.core.c_str(), r.kernel.c_str(), r.mode.c_str(),
+                     static_cast<unsigned long long>(r.instructionsPerRep),
+                     static_cast<unsigned long long>(r.reps), r.hostNs,
+                     r.ips, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"functional_geomean_ips\": %.0f,\n", func_geo);
+    std::fprintf(f, "  \"pipeline_geomean_ips\": %.0f\n}\n", pipe_geo);
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --quick: fewer pipeline configurations (CI smoke).
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+
+    std::printf("Simulator throughput (simulated instructions per host "
+                "second), Fig 2 kernels, scale %llu\n\n",
+                static_cast<unsigned long long>(kScale));
+    std::printf("%-12s %-16s %-4s %12s %6s %12s\n", "core", "kernel",
+                "mode", "insts/rep", "reps", "sim-insts/s");
+
+    std::vector<Row> rows;
+    auto report = [&rows](Row row) {
+        std::printf("%-12s %-16s %-4s %12llu %6llu %12.3e\n",
+                    row.core.c_str(), row.kernel.c_str(), row.mode.c_str(),
+                    static_cast<unsigned long long>(row.instructionsPerRep),
+                    static_cast<unsigned long long>(row.reps), row.ips);
+        rows.push_back(std::move(row));
+    };
+
+    for (const auto &kernel : hfi::sim::kernels::suite()) {
+        for (const auto mode : {hfi::sim::kernels::Mode::HfiHardware,
+                                hfi::sim::kernels::Mode::HfiEmulation}) {
+            report(measureFunctional(kernel, mode));
+            if (!quick || kernel.name == "fib2")
+                report(measurePipeline(kernel, mode));
+        }
+    }
+
+    const double func_geo = geomeanIps(rows, "functional");
+    const double pipe_geo = geomeanIps(rows, "pipeline");
+    std::printf("\nfunctional geomean: %.3e sim-insts/s\n", func_geo);
+    std::printf("pipeline   geomean: %.3e sim-insts/s\n", pipe_geo);
+    emitJson(rows, func_geo, pipe_geo);
+    std::printf("wrote BENCH_sim_throughput.json\n");
+    return 0;
+}

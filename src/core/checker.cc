@@ -3,175 +3,14 @@
 namespace hfi::core
 {
 
-CheckResult
-AccessChecker::checkData(const HfiRegisterFile &bank, VAddr addr,
-                         std::uint32_t width, bool write)
-{
-    if (!bank.enabled)
-        return CheckResult::pass(kNumRegions);
-
-    const VAddr last = addr + width - 1;
-    for (unsigned n = kFirstImplicitDataRegion; n < kFirstExplicitRegion;
-         ++n) {
-        const Region &reg = bank.regions[n];
-        if (!std::holds_alternative<ImplicitDataRegion>(reg))
-            continue;
-        const auto &r = std::get<ImplicitDataRegion>(reg);
-        if (!r.contains(addr))
-            continue;
-        // First match decides (§3.2). The access must not straddle the
-        // region's (power-of-two) end: the last byte must share the
-        // checked prefix, which hardware verifies with the same AND+cmp.
-        if (!r.contains(last))
-            return CheckResult::fail(ExitReason::DataBoundsViolation);
-        if (write ? !r.permWrite : !r.permRead)
-            return CheckResult::fail(ExitReason::PermissionViolation);
-        return CheckResult::pass(n);
-    }
-    return CheckResult::fail(ExitReason::DataBoundsViolation);
-}
-
-CheckResult
-AccessChecker::checkFetch(const HfiRegisterFile &bank, VAddr addr)
-{
-    if (!bank.enabled)
-        return CheckResult::pass(kNumRegions);
-
-    for (unsigned n = kFirstCodeRegion; n < kFirstImplicitDataRegion; ++n) {
-        const Region &reg = bank.regions[n];
-        if (!std::holds_alternative<ImplicitCodeRegion>(reg))
-            continue;
-        const auto &r = std::get<ImplicitCodeRegion>(reg);
-        if (!r.contains(addr))
-            continue;
-        if (!r.permExec)
-            return CheckResult::fail(ExitReason::PermissionViolation);
-        return CheckResult::pass(n);
-    }
-    return CheckResult::fail(ExitReason::CodeBoundsViolation);
-}
-
-/**
- * Shared operand validation: the sign-bit and overflow checks of §4.2
- * that make the positive-offset guarantee hold. On success *offset_out
- * holds index*scale + displacement.
- */
-static bool
-computeOffset(const HmovOperands &ops, std::uint64_t *offset_out,
-              ExitReason *reason_out)
-{
-    if (ops.index < 0 || ops.displacement < 0) {
-        *reason_out = ExitReason::HmovNegativeOperand;
-        return false;
-    }
-    const auto index = static_cast<std::uint64_t>(ops.index);
-    const auto disp = static_cast<std::uint64_t>(ops.displacement);
-    const std::uint64_t scaled = index * static_cast<std::uint64_t>(ops.scale);
-    if (ops.scale != 1 && scaled / ops.scale != index) {
-        *reason_out = ExitReason::HmovOverflow;
-        return false;
-    }
-    const std::uint64_t offset = scaled + disp;
-    if (offset < scaled) {
-        *reason_out = ExitReason::HmovOverflow;
-        return false;
-    }
-    *offset_out = offset;
-    return true;
-}
-
-/**
- * Fetch the explicit region selected by hmov<n>, or fail. A cleared
- * register, an index outside 0..3, and a region without the needed
- * permission are all traps.
- */
-static const ExplicitDataRegion *
-selectRegion(const HfiRegisterFile &bank, unsigned explicit_index,
-             ExitReason *reason_out)
-{
-    if (explicit_index >= kNumExplicitRegions) {
-        *reason_out = ExitReason::HmovEmptyRegion;
-        return nullptr;
-    }
-    const Region &reg =
-        bank.regions[kFirstExplicitRegion + explicit_index];
-    if (!std::holds_alternative<ExplicitDataRegion>(reg)) {
-        *reason_out = ExitReason::HmovEmptyRegion;
-        return nullptr;
-    }
-    return &std::get<ExplicitDataRegion>(reg);
-}
-
-HmovResult
-AccessChecker::checkHmov(const HfiRegisterFile &bank,
-                         unsigned explicit_index, const HmovOperands &ops,
-                         bool write)
-{
-    HmovResult res;
-    const ExplicitDataRegion *r =
-        selectRegion(bank, explicit_index, &res.reason);
-    if (!r)
-        return res;
-    if (write ? !r->permWrite : !r->permRead) {
-        res.reason = ExitReason::PermissionViolation;
-        return res;
-    }
-
-    std::uint64_t offset = 0;
-    if (!computeOffset(ops, &offset, &res.reason))
-        return res;
-
-    // The AGU adds the (precomputed) region base; a carry out of bit 63
-    // is the effective-address overflow the paper traps on.
-    const VAddr ea = r->baseAddress + offset;
-    if (ea < r->baseAddress) {
-        res.reason = ExitReason::HmovOverflow;
-        return res;
-    }
-    const VAddr last = ea + ops.width - 1;
-    if (last < ea) {
-        res.reason = ExitReason::HmovOverflow;
-        return res;
-    }
-
-    if (r->isLargeRegion) {
-        // Large regions: base and bound are 64 KiB aligned, addresses
-        // are 48 bits, so "last < base + bound" reduces to one 32-bit
-        // compare of bits [47:16] — the limit's low 16 bits are zero
-        // (§4.2).
-        const std::uint64_t limit = r->baseAddress + r->bound;
-        if ((last >> 16) >= (limit >> 16)) {
-            res.reason = ExitReason::HmovBoundsViolation;
-            return res;
-        }
-    } else {
-        // Small regions never span a 4 GiB boundary, so only the bottom
-        // 32 bits of the effective address need checking; the comparator
-        // keeps the carry bit so a region ending exactly on a boundary
-        // (limit's low 32 bits = 0) still admits its top bytes.
-        const std::uint64_t base_low = r->baseAddress & 0xffffffffULL;
-        const std::uint64_t limit33 = base_low + r->bound;
-        const std::uint64_t last33 = base_low + offset + ops.width - 1;
-        if (last33 >= limit33) {
-            res.reason = ExitReason::HmovBoundsViolation;
-            return res;
-        }
-    }
-
-    res.ok = true;
-    res.reason = ExitReason::None;
-    res.address = ea;
-    return res;
-}
-
 HmovResult
 AccessChecker::checkHmovNaive(const HfiRegisterFile &bank,
                               unsigned explicit_index,
                               const HmovOperands &ops, bool write)
 {
     HmovResult res;
-    const ExplicitDataRegion *r =
-        selectRegion(bank, explicit_index, &res.reason);
+    const FlatRegionSlot *r =
+        detail::selectRegion(bank, explicit_index, &res.reason);
     if (!r)
         return res;
     if (write ? !r->permWrite : !r->permRead) {
@@ -180,11 +19,11 @@ AccessChecker::checkHmovNaive(const HfiRegisterFile &bank,
     }
 
     std::uint64_t offset = 0;
-    if (!computeOffset(ops, &offset, &res.reason))
+    if (!detail::computeOffset(ops, &offset, &res.reason))
         return res;
 
-    const VAddr ea = r->baseAddress + offset;
-    if (ea < r->baseAddress || ea + ops.width - 1 < ea) {
+    const VAddr ea = r->base + offset;
+    if (ea < r->base || ea + ops.width - 1 < ea) {
         res.reason = ExitReason::HmovOverflow;
         return res;
     }

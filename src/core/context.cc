@@ -78,7 +78,7 @@ HfiContext::setRegion(unsigned n, const Region &region)
         if (regionClassOf(n) == RegionClass::Code)
             charge(costs_.codeRegionFlushCycles);
     }
-    bank.regions[n] = region;
+    bank.setRegion(n, region);
     ++stats_.regionUpdates;
     return HfiResult::Ok;
 }
@@ -91,7 +91,7 @@ HfiContext::getRegion(unsigned n)
         msrExitReason = ExitReason::IllegalRegionUpdate;
         return std::nullopt;
     }
-    return bank.regions[n];
+    return bank.region(n);
 }
 
 HfiResult
@@ -102,7 +102,7 @@ HfiContext::clearRegion(unsigned n)
         msrExitReason = ExitReason::IllegalRegionUpdate;
         return HfiResult::Trap;
     }
-    bank.regions[n] = EmptyRegion{};
+    bank.setRegion(n, EmptyRegion{});
     ++stats_.regionUpdates;
     return HfiResult::Ok;
 }
@@ -115,7 +115,8 @@ HfiContext::clearAllRegions()
         msrExitReason = ExitReason::IllegalRegionUpdate;
         return HfiResult::Trap;
     }
-    bank.regions.fill(Region{EmptyRegion{}});
+    for (unsigned r = 0; r < kNumRegions; ++r)
+        bank.setRegion(r, EmptyRegion{});
     ++stats_.regionUpdates;
     return HfiResult::Ok;
 }

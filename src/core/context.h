@@ -81,12 +81,42 @@ enum class HfiResult
 /**
  * A snapshot of the HFI register file, as saved/restored by the OS with
  * xsave/xrstor (§3.3.3) or swapped by switch-on-exit (§4.5).
+ *
+ * Region registers are written through setRegion(), which also keeps a
+ * flattened (discriminant + packed fields) shadow of every slot. The
+ * per-access checks (AccessChecker::checkData/checkFetch/checkHmov) read
+ * only the flattened bank, so the hot path is a compare-and-branch over
+ * PODs rather than std::variant probing; the variant view stays
+ * authoritative for everything cold (validation, tests, logs).
  */
 struct HfiRegisterFile
 {
-    std::array<Region, kNumRegions> regions{};
     SandboxConfig config{};
     bool enabled = false;
+
+    /** Region register @p n (variant view). */
+    const Region &region(unsigned n) const { return regions_[n]; }
+
+    /** All region registers (variant view). */
+    const std::array<Region, kNumRegions> &regions() const
+    {
+        return regions_;
+    }
+
+    /** Write region register @p n, reflattening its slot. */
+    void
+    setRegion(unsigned n, const Region &region)
+    {
+        regions_[n] = region;
+        flat_[n] = flattenRegion(region);
+    }
+
+    /** Flattened slot @p n — what the per-access checks read. */
+    const FlatRegionSlot &flat(unsigned n) const { return flat_[n]; }
+
+  private:
+    std::array<Region, kNumRegions> regions_{};
+    std::array<FlatRegionSlot, kNumRegions> flat_{};
 };
 
 /**
@@ -204,12 +234,12 @@ class HfiContext
     const SandboxConfig &config() const { return bank.config; }
 
     /** Current value of region register @p n (no cost; for the checker). */
-    const Region &region(unsigned n) const { return bank.regions[n]; }
+    const Region &region(unsigned n) const { return bank.region(n); }
 
     /** All region registers (no cost; for the checker). */
     const std::array<Region, kNumRegions> &regions() const
     {
-        return bank.regions;
+        return bank.regions();
     }
 
     /** The full active register bank (no cost; for the checker). */

@@ -160,6 +160,71 @@ struct EmptyRegion
 using Region = std::variant<EmptyRegion, ImplicitCodeRegion,
                             ImplicitDataRegion, ExplicitDataRegion>;
 
+/**
+ * Discriminant of a flattened region-register slot (see FlatRegionSlot).
+ * Mirrors the Region variant's alternatives one-for-one.
+ */
+enum class RegionKind : std::uint8_t
+{
+    Empty = 0,
+    Code,
+    ImplicitData,
+    ExplicitData,
+};
+
+/**
+ * The flattened (hardware-register-shaped) rendering of one region
+ * register, precomputed when the register is written so the per-access
+ * checks read a discriminant byte plus packed fields instead of probing
+ * a std::variant (§4.1's point that the check must be a handful of
+ * gates, not a dispatch).
+ *
+ * For implicit regions the prefix compare `(addr & ~lsbMask) ==
+ * basePrefix` is precomputed as `(addr & prefixMask) == base`, so the
+ * hot path never re-derives the complement.
+ */
+struct FlatRegionSlot
+{
+    RegionKind kind = RegionKind::Empty;
+    bool permRead = false;
+    bool permWrite = false;
+    bool permExec = false;
+    bool isLarge = false;
+    /** Implicit regions: ~lsbMask. Unused for explicit regions. */
+    std::uint64_t prefixMask = 0;
+    /** Implicit: basePrefix. Explicit: baseAddress. */
+    std::uint64_t base = 0;
+    /** Explicit regions: bound in bytes. */
+    std::uint64_t bound = 0;
+};
+
+/** Flatten a region-register value (done once, at register write). */
+inline FlatRegionSlot
+flattenRegion(const Region &region)
+{
+    FlatRegionSlot slot;
+    if (const auto *c = std::get_if<ImplicitCodeRegion>(&region)) {
+        slot.kind = RegionKind::Code;
+        slot.permExec = c->permExec;
+        slot.prefixMask = ~c->lsbMask;
+        slot.base = c->basePrefix;
+    } else if (const auto *d = std::get_if<ImplicitDataRegion>(&region)) {
+        slot.kind = RegionKind::ImplicitData;
+        slot.permRead = d->permRead;
+        slot.permWrite = d->permWrite;
+        slot.prefixMask = ~d->lsbMask;
+        slot.base = d->basePrefix;
+    } else if (const auto *e = std::get_if<ExplicitDataRegion>(&region)) {
+        slot.kind = RegionKind::ExplicitData;
+        slot.permRead = e->permRead;
+        slot.permWrite = e->permWrite;
+        slot.isLarge = e->isLargeRegion;
+        slot.base = e->baseAddress;
+        slot.bound = e->bound;
+    }
+    return slot;
+}
+
 /** Classification of a region number. */
 enum class RegionClass
 {

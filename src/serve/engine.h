@@ -67,6 +67,22 @@ struct EngineConfig
     bool workStealing = true;
     Sharding sharding = Sharding::RoundRobin;
 
+    /**
+     * Run one host std::thread per simulated core instead of the
+     * sequential event loop. Only configurations whose cores are
+     * provably independent qualify — open loop, round-robin sharding,
+     * no work stealing — because then the global event loop decomposes
+     * into per-shard loops with no cross-core event ordering, and the
+     * merged result is bit-identical to the sequential run (asserted by
+     * tests and the serve_scaling --threads gate). Anything else
+     * (closed loop couples clients to completions; stealing couples
+     * queues) silently falls back to the sequential driver; check
+     * ServeResult::usedThreads for what actually ran. Handlers must be
+     * pure functions of (sandbox, seed) — already required for
+     * determinism — and are called concurrently in this mode.
+     */
+    bool realThreads = false;
+
     /** Per-worker knobs (scheme, pool, scheduler, quantum). */
     WorkerConfig worker{};
 };
@@ -90,6 +106,9 @@ struct ServeResult
     std::uint64_t instancesCreated = 0;
     std::uint64_t reclaimBatches = 0;
     std::uint64_t hfiStateMismatches = 0;
+
+    /** Host threads the run actually used (1 = sequential driver). */
+    unsigned usedThreads = 1;
 
     /** Merged per-request latencies (service order), for tests. */
     faas::LatencyRecorder latencies{};
@@ -117,6 +136,12 @@ class ServeEngine
     static ServeResult drive(std::vector<std::unique_ptr<Worker>> &workers,
                              ArrivalSource &source,
                              const EngineConfig &config, double start_ns);
+
+    /** One host thread per core; requires threadable(config_). */
+    ServeResult runThreaded();
+
+    /** True when the configuration decomposes into independent shards. */
+    static bool threadable(const EngineConfig &config);
 
     EngineConfig config_;
     Handler handler_;

@@ -72,6 +72,35 @@ class OpenLoopPoissonSource : public ArrivalSource
 };
 
 /**
+ * A source over a pre-built arrival list (already in time order).
+ *
+ * This is how the threaded engine drives one shard: the open-loop
+ * arrival sequence is generated once up front, partitioned by shard,
+ * and each host thread replays its partition through the ordinary
+ * event loop.
+ */
+class VectorSource : public ArrivalSource
+{
+  public:
+    explicit VectorSource(std::vector<Request> arrivals)
+        : arrivals_(std::move(arrivals))
+    {
+    }
+
+    std::optional<Request>
+    next() override
+    {
+        if (nextIndex >= arrivals_.size())
+            return std::nullopt;
+        return arrivals_[nextIndex++];
+    }
+
+  private:
+    std::vector<Request> arrivals_;
+    std::size_t nextIndex = 0;
+};
+
+/**
  * Closed loop: @p clients concurrent clients, each sending its next
  * request the moment its previous response lands (the Table 1 model).
  * Earliest-ready client issues first; ties go to the lowest index.

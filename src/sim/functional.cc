@@ -6,63 +6,65 @@ namespace hfi::sim
 namespace
 {
 
-/** Build the region value hfi_set_region writes, from the descriptor
- *  registers (base in ra, bound/mask in rb) and permission bits. */
-core::Region
-regionFromDescriptor(unsigned region_number, std::uint64_t base,
-                     std::uint64_t bound, std::int64_t perms)
+/**
+ * Non-virtual memory adapter: lets executeOn inline SimMemory's word
+ * fast path straight into the dispatch loop (the virtual MemView
+ * indirection is only needed by the pipeline's store queue).
+ */
+struct DirectMem
 {
-    const bool read = perms & 1;
-    const bool write = perms & 2;
-    const bool exec = perms & 4;
-    const bool large = perms & 8;
-    switch (core::regionClassOf(region_number)) {
-      case core::RegionClass::Code: {
-        core::ImplicitCodeRegion r;
-        r.basePrefix = base;
-        r.lsbMask = bound;
-        r.permExec = exec;
-        return r;
-      }
-      case core::RegionClass::ImplicitData: {
-        core::ImplicitDataRegion r;
-        r.basePrefix = base;
-        r.lsbMask = bound;
-        r.permRead = read;
-        r.permWrite = write;
-        return r;
-      }
-      case core::RegionClass::ExplicitData: {
-        core::ExplicitDataRegion r;
-        r.baseAddress = base;
-        r.bound = bound;
-        r.permRead = read;
-        r.permWrite = write;
-        r.isLargeRegion = large;
-        return r;
-      }
-    }
-    return core::EmptyRegion{};
-}
+    SimMemory &m;
 
-/** Region-slot/type/shape validity, mirroring HfiContext::setRegion. */
-bool
-regionStorable(unsigned n, const core::Region &region)
-{
-    if (std::holds_alternative<core::EmptyRegion>(region))
-        return true;
-    switch (core::regionClassOf(n)) {
-      case core::RegionClass::Code:
-        return std::holds_alternative<core::ImplicitCodeRegion>(region) &&
-               std::get<core::ImplicitCodeRegion>(region).wellFormed();
-      case core::RegionClass::ImplicitData:
-        return std::holds_alternative<core::ImplicitDataRegion>(region) &&
-               std::get<core::ImplicitDataRegion>(region).wellFormed();
-      case core::RegionClass::ExplicitData:
-        return std::holds_alternative<core::ExplicitDataRegion>(region) &&
-               std::get<core::ExplicitDataRegion>(region).wellFormed();
+    std::uint64_t
+    load(std::uint64_t addr, unsigned width)
+    {
+        return m.read(addr, width);
     }
-    return false;
+
+    void
+    store(std::uint64_t addr, std::uint64_t value, unsigned width)
+    {
+        m.write(addr, value, width);
+    }
+};
+
+/**
+ * True when AccessChecker::checkFetch is guaranteed to pass for every
+ * address in [prog.base(), prog.end()), under the current bank, with
+ * exactly the verdict the per-address check would give.
+ *
+ * With HFI off the check passes trivially. With HFI on, each code slot
+ * matches an aligned power-of-two block; walking the slots in
+ * first-match order, a slot whose block contains the whole program
+ * decides every fetch at once (pass iff permExec — and on !permExec we
+ * return false so the generic loop delivers the fault), a slot whose
+ * block is disjoint from the program decides none, and a slot that
+ * partially overlaps means different addresses see different verdicts,
+ * so no elision. The predicate is O(code slots), so the interpreter can
+ * afford to re-prove it after every bank-touching instruction.
+ */
+bool
+fetchCoversProgram(const core::HfiRegisterFile &bank, const Program &prog)
+{
+    if (!bank.enabled)
+        return true;
+    const std::uint64_t lo = prog.base();
+    const std::uint64_t hi = prog.end() - 1;
+    for (unsigned n = core::kFirstCodeRegion;
+         n < core::kFirstImplicitDataRegion; ++n) {
+        const core::FlatRegionSlot &s = bank.flat(n);
+        if (s.kind != core::RegionKind::Code)
+            continue;
+        const bool lo_in = (lo & s.prefixMask) == s.base;
+        const bool hi_in = (hi & s.prefixMask) == s.base;
+        if (lo_in && hi_in)
+            return s.permExec;
+        const std::uint64_t block_last = s.base | ~s.prefixMask;
+        if (hi < s.base || lo > block_last)
+            continue; // block disjoint from the program: never matches
+        return false; // partial overlap: mixed verdicts
+    }
+    return false; // nothing matches: every fetch faults (generic loop)
 }
 
 } // namespace
@@ -71,248 +73,18 @@ ExecInfo
 FunctionalCore::execute(const Inst &inst, std::uint64_t pc, ArchState &state,
                         MemView &mem)
 {
-    ExecInfo info;
-    info.nextPc = pc + inst.length;
-
-    auto &regs = state.regs;
-    const std::uint64_t ra = regs[inst.ra];
-    const std::uint64_t rb_or_imm =
-        inst.useImm ? static_cast<std::uint64_t>(inst.imm) : regs[inst.rb];
-
-    auto fault = [&](core::ExitReason reason) {
-        info.faulted = true;
-        info.faultReason = reason;
-        // §3.3.2: HFI disables the sandbox, records the cause in the
-        // MSR, and raises a trap — but those are *retirement* effects.
-        // A speculatively faulting instruction must leave the HFI bank
-        // untouched so younger wrong-path instructions stay checked
-        // (otherwise the fault itself would re-open the side channel).
-        // The caller applies the architectural effects at commit.
-        info.nextPc = pc; // architectural pc of the faulting instruction
-    };
-
-    switch (inst.op) {
-      case Opcode::Add: regs[inst.rd] = ra + rb_or_imm; break;
-      case Opcode::Sub: regs[inst.rd] = ra - rb_or_imm; break;
-      case Opcode::Mul: regs[inst.rd] = ra * rb_or_imm; break;
-      case Opcode::Div:
-        regs[inst.rd] = rb_or_imm ? ra / rb_or_imm : 0;
-        break;
-      case Opcode::And: regs[inst.rd] = ra & rb_or_imm; break;
-      case Opcode::Or: regs[inst.rd] = ra | rb_or_imm; break;
-      case Opcode::Xor: regs[inst.rd] = ra ^ rb_or_imm; break;
-      case Opcode::Shl: regs[inst.rd] = ra << (rb_or_imm & 63); break;
-      case Opcode::Shr: regs[inst.rd] = ra >> (rb_or_imm & 63); break;
-      case Opcode::Mov: regs[inst.rd] = ra; break;
-      case Opcode::Movi:
-        regs[inst.rd] = static_cast<std::uint64_t>(inst.imm);
-        break;
-
-      case Opcode::Load:
-      case Opcode::Store: {
-        std::uint64_t addr =
-            ra + static_cast<std::uint64_t>(inst.imm);
-        if (inst.useIndex)
-            addr += regs[inst.rb] * inst.scale;
-        info.isMem = true;
-        info.isWrite = inst.op == Opcode::Store;
-        info.memAddr = addr;
-        info.memWidth = inst.width;
-        // Implicit data-region check, in parallel with the dtb (§4.1).
-        const core::CheckResult check = core::AccessChecker::checkData(
-            state.hfi, addr, inst.width, info.isWrite);
-        if (!check.ok) {
-            fault(check.reason);
-            break;
-        }
-        if (info.isWrite)
-            mem.store(addr, regs[inst.rd], inst.width);
-        else
-            regs[inst.rd] = mem.load(addr, inst.width);
-        break;
-      }
-
-      case Opcode::HmovLoad:
-      case Opcode::HmovStore: {
-        info.isMem = true;
-        info.isWrite = inst.op == Opcode::HmovStore;
-        info.memWidth = inst.width;
-        core::HmovOperands ops;
-        ops.index = inst.useIndex
-                        ? static_cast<std::int64_t>(regs[inst.rb])
-                        : 0;
-        ops.scale = inst.scale;
-        ops.displacement = inst.imm;
-        ops.width = inst.width;
-        if (!state.hfi.enabled) {
-            // hmov outside HFI mode is an invalid opcode.
-            fault(core::ExitReason::HardwareFault);
-            break;
-        }
-        const core::HmovResult res = core::AccessChecker::checkHmov(
-            state.hfi, inst.region, ops, info.isWrite);
-        if (!res.ok) {
-            fault(res.reason);
-            break;
-        }
-        info.memAddr = res.address;
-        if (info.isWrite)
-            mem.store(res.address, regs[inst.rd], inst.width);
-        else
-            regs[inst.rd] = mem.load(res.address, inst.width);
-        break;
-      }
-
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge: {
-        info.isBranch = true;
-        const auto a = static_cast<std::int64_t>(ra);
-        const auto b = static_cast<std::int64_t>(regs[inst.rb]);
-        switch (inst.op) {
-          case Opcode::Beq: info.branchTaken = a == b; break;
-          case Opcode::Bne: info.branchTaken = a != b; break;
-          case Opcode::Blt: info.branchTaken = a < b; break;
-          default: info.branchTaken = a >= b; break;
-        }
-        if (info.branchTaken)
-            info.nextPc = inst.target;
-        break;
-      }
-      case Opcode::Jmp:
-        info.isBranch = true;
-        info.branchTaken = true;
-        info.nextPc = inst.target;
-        break;
-      case Opcode::Call:
-        info.isBranch = true;
-        info.branchTaken = true;
-        regs[kLinkReg] = pc + inst.length;
-        info.nextPc = inst.target;
-        break;
-      case Opcode::Ret:
-        info.isBranch = true;
-        info.branchTaken = true;
-        info.nextPc = regs[kLinkReg];
-        break;
-
-      case Opcode::Syscall:
-        info.isSyscall = true;
-        if (state.hfi.enabled && !state.hfi.config.isHybrid) {
-            // §4.4: redirect to the exit handler; HFI mode is disabled
-            // atomically and the MSR records the cause.
-            state.hfi.enabled = false;
-            state.msr = core::ExitReason::Syscall;
-            info.nextPc = state.hfi.config.exitHandler;
-            if (state.hfi.config.isSerialized)
-                info.serializes = true;
-            if (info.nextPc == 0)
-                fault(core::ExitReason::Syscall);
-        } else if (inst.imm == 231) { // exit_group
-            info.halted = true;
-        }
-        break;
-
-      case Opcode::Cpuid:
-        info.serializes = true;
-        // Clobbers its output registers (r12/r13 by our convention —
-        // compilers never keep live values in cpuid outputs).
-        regs[12] = 0x16;
-        regs[13] = 0x756e6547;
-        break;
-
-      case Opcode::HfiEnter: {
-        const bool switch_on_exit = inst.imm & 4;
-        if (switch_on_exit) {
-            // §4.5: preserve the trusted runtime's bank in the shadow
-            // registers before loading the child's configuration.
-            state.hfiShadow = state.hfi;
-            state.shadowValid = true;
-        }
-        state.hfi.config.isHybrid = inst.imm & 1;
-        state.hfi.config.isSerialized = inst.imm & 2;
-        state.hfi.config.switchOnExit = switch_on_exit;
-        state.hfi.config.exitHandler = regs[kExitHandlerReg];
-        state.hfi.enabled = true;
-        if (state.hfi.config.isSerialized)
-            info.serializes = true;
-        break;
-      }
-      case Opcode::HfiExit:
-        if (state.hfi.enabled && state.hfi.config.switchOnExit &&
-            state.shadowValid) {
-            // §4.5: atomically switch back to the runtime's bank; HFI
-            // stays enabled, so even a *speculative* hfi_exit leaves
-            // execution checked — no serialization needed.
-            state.hfi = state.hfiShadow;
-            state.shadowValid = false;
-            state.msr = core::ExitReason::HfiExit;
-            break;
-        }
-        if (state.hfi.config.isSerialized)
-            info.serializes = true;
-        state.hfi.enabled = false;
-        state.msr = core::ExitReason::HfiExit;
-        break;
-
-      case Opcode::HfiSetRegion: {
-        if (state.hfi.enabled && !state.hfi.config.isHybrid) {
-            fault(core::ExitReason::IllegalRegionUpdate);
-            break;
-        }
-        const core::Region region = regionFromDescriptor(
-            inst.region, ra, regs[inst.rb], inst.imm);
-        if (inst.region >= core::kNumRegions ||
-            !regionStorable(inst.region, region)) {
-            fault(core::ExitReason::IllegalRegionUpdate);
-            break;
-        }
-        state.hfi.regions[inst.region] = region;
-        // §4.3: serializes inside a hybrid sandbox.
-        if (state.hfi.enabled)
-            info.serializes = true;
-        break;
-      }
-      case Opcode::HfiClearRegion:
-        if (state.hfi.enabled && !state.hfi.config.isHybrid) {
-            fault(core::ExitReason::IllegalRegionUpdate);
-            break;
-        }
-        if (inst.region >= core::kNumRegions) {
-            fault(core::ExitReason::IllegalRegionUpdate);
-            break;
-        }
-        state.hfi.regions[inst.region] = core::EmptyRegion{};
-        if (state.hfi.enabled)
-            info.serializes = true;
-        break;
-
-      case Opcode::Flush:
-        // clflush: evicts the line; no data moves, no HFI data check
-        // (the address reveals nothing the attacker does not control).
-        info.isFlush = true;
-        info.memAddr = ra + static_cast<std::uint64_t>(inst.imm);
-        break;
-
-      case Opcode::Halt:
-        info.halted = true;
-        break;
-      case Opcode::Nop:
-        break;
-    }
-
-    if (!info.faulted)
-        state.pc = info.nextPc;
-    return info;
+    return executeOn(inst, pc, state, mem);
 }
 
 std::uint64_t
-FunctionalCore::run(const Program &program, ArchState &state,
-                    SimMemory &memory, std::uint64_t max_steps)
+FunctionalCore::runReference(const Program &program, ArchState &state,
+                             SimMemory &memory, std::uint64_t max_steps)
 {
-    DirectMemView view(memory);
+    DirectMem view{memory};
     std::uint64_t steps = 0;
+    // Sequential-fetch hint: straight-line execution resolves each pc
+    // with one compare instead of an address-table lookup.
+    std::size_t fetchHint = 0;
     while (steps < max_steps) {
         // Code-region check on the fetch address (§4.1).
         const core::CheckResult fetch_check =
@@ -322,11 +94,11 @@ FunctionalCore::run(const Program &program, ArchState &state,
             state.msr = fetch_check.reason;
             break;
         }
-        const Inst *inst = program.at(state.pc);
+        const Inst *inst = program.fetch(state.pc, &fetchHint);
         if (!inst)
             break; // ran off the program: invalid opcode
         const ExecInfo info =
-            FunctionalCore::execute(*inst, state.pc, state, view);
+            FunctionalCore::executeOn(*inst, state.pc, state, view);
         ++steps;
         if (info.faulted) {
             // Architectural trap: disable the sandbox, record the MSR.
@@ -339,5 +111,341 @@ FunctionalCore::run(const Program &program, ArchState &state,
     }
     return steps;
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+
+std::uint64_t
+FunctionalCore::run(const Program &program, ArchState &state,
+                    SimMemory &memory, std::uint64_t max_steps)
+{
+    // Threaded-dispatch interpreter (labels-as-values). The hot opcodes
+    // — ALU, load/store, hmov, control flow — have dedicated handlers
+    // that track the *instruction index* instead of re-resolving the pc
+    // each step, take branches through the Program's predecoded target
+    // indices, and skip the per-instruction fetch check while
+    // fetchCoversProgram holds. Everything else (HFI instructions,
+    // syscalls, cpuid, ...) bails out to a literal reference step that
+    // runs executeOn and re-proves the fetch predicate, so all
+    // bank-touching semantics live in exactly one place (executeOn).
+    //
+    // state.pc is materialized from the index on every exit from the
+    // fast loop, so the architectural state at each return — and at
+    // every executeOn call — is identical to runReference's.
+    const void *labels[64];
+    for (auto &l : labels)
+        l = &&op_slow;
+#define HFI_SIM_LABEL(op) labels[static_cast<int>(Opcode::op)] = &&op_##op
+    HFI_SIM_LABEL(Add);
+    HFI_SIM_LABEL(Sub);
+    HFI_SIM_LABEL(Mul);
+    HFI_SIM_LABEL(And);
+    HFI_SIM_LABEL(Or);
+    HFI_SIM_LABEL(Xor);
+    HFI_SIM_LABEL(Shl);
+    HFI_SIM_LABEL(Shr);
+    HFI_SIM_LABEL(Mov);
+    HFI_SIM_LABEL(Movi);
+    HFI_SIM_LABEL(Load);
+    HFI_SIM_LABEL(Store);
+    HFI_SIM_LABEL(HmovLoad);
+    HFI_SIM_LABEL(HmovStore);
+    HFI_SIM_LABEL(Beq);
+    HFI_SIM_LABEL(Bne);
+    HFI_SIM_LABEL(Blt);
+    HFI_SIM_LABEL(Bge);
+    HFI_SIM_LABEL(Jmp);
+    HFI_SIM_LABEL(Call);
+    HFI_SIM_LABEL(Ret);
+    HFI_SIM_LABEL(Halt);
+    HFI_SIM_LABEL(Nop);
+#undef HFI_SIM_LABEL
+
+    DirectMem view{memory};
+    const Inst *const insts = program.instructions().data();
+    const std::size_t count = program.instructionCount();
+    auto &regs = state.regs;
+    std::uint64_t steps = 0;
+    std::size_t fetchHint = 0; // for the reference steps only
+    std::size_t index = 0;
+    const Inst *inst = nullptr;
+
+// Dispatch invariants: index < count, checkFetch passes for
+// addressOf(index) (by fetchCoversProgram), state.pc is stale and gets
+// rewritten from the index on every fast-loop exit.
+#define HFI_SIM_DISPATCH                                                     \
+    do {                                                                     \
+        if (steps >= max_steps) {                                            \
+            state.pc = program.addressOf(index);                             \
+            return steps;                                                    \
+        }                                                                    \
+        inst = insts + index;                                                \
+        ++steps;                                                             \
+        goto *labels[static_cast<int>(inst->op)];                            \
+    } while (0)
+
+#define HFI_SIM_NEXT                                                         \
+    do {                                                                     \
+        if (++index == count) {                                              \
+            state.pc = program.end();                                        \
+            goto bail;                                                       \
+        }                                                                    \
+        HFI_SIM_DISPATCH;                                                    \
+    } while (0)
+
+#define HFI_SIM_FAULT(the_reason)                                            \
+    do {                                                                     \
+        state.hfi.enabled = false;                                           \
+        state.msr = (the_reason);                                            \
+        state.pc = program.addressOf(index);                                 \
+        return steps;                                                        \
+    } while (0)
+
+    for (;;) {
+        // Try to (re-)enter the fast loop at the current pc.
+        if (count != 0 && fetchCoversProgram(state.hfi, program)) {
+            index = program.indexAt(state.pc);
+            if (index != Program::kNoInst)
+                HFI_SIM_DISPATCH;
+        }
+
+        // Reference step: the literal per-instruction semantics,
+        // including the fetch check. Handles everything the fast loop
+        // bails on (slow opcodes, pcs outside the program, banks that
+        // don't cover it).
+    reference_step:
+        {
+            if (steps >= max_steps)
+                return steps;
+            const core::CheckResult fetch_check =
+                core::AccessChecker::checkFetch(state.hfi, state.pc);
+            if (!fetch_check.ok) {
+                state.hfi.enabled = false;
+                state.msr = fetch_check.reason;
+                return steps;
+            }
+            const Inst *ref = program.fetch(state.pc, &fetchHint);
+            if (!ref)
+                return steps; // ran off the program: invalid opcode
+            const ExecInfo info = executeOn(*ref, state.pc, state, view);
+            ++steps;
+            if (info.faulted) {
+                state.hfi.enabled = false;
+                state.msr = info.faultReason;
+                return steps;
+            }
+            if (info.halted)
+                return steps;
+            continue;
+        }
+
+    op_Add:
+        regs[inst->rd] =
+            regs[inst->ra] +
+            (inst->useImm ? static_cast<std::uint64_t>(inst->imm)
+                          : regs[inst->rb]);
+        HFI_SIM_NEXT;
+    op_Sub:
+        regs[inst->rd] =
+            regs[inst->ra] -
+            (inst->useImm ? static_cast<std::uint64_t>(inst->imm)
+                          : regs[inst->rb]);
+        HFI_SIM_NEXT;
+    op_Mul:
+        regs[inst->rd] =
+            regs[inst->ra] *
+            (inst->useImm ? static_cast<std::uint64_t>(inst->imm)
+                          : regs[inst->rb]);
+        HFI_SIM_NEXT;
+    op_And:
+        regs[inst->rd] =
+            regs[inst->ra] &
+            (inst->useImm ? static_cast<std::uint64_t>(inst->imm)
+                          : regs[inst->rb]);
+        HFI_SIM_NEXT;
+    op_Or:
+        regs[inst->rd] =
+            regs[inst->ra] |
+            (inst->useImm ? static_cast<std::uint64_t>(inst->imm)
+                          : regs[inst->rb]);
+        HFI_SIM_NEXT;
+    op_Xor:
+        regs[inst->rd] =
+            regs[inst->ra] ^
+            (inst->useImm ? static_cast<std::uint64_t>(inst->imm)
+                          : regs[inst->rb]);
+        HFI_SIM_NEXT;
+    op_Shl:
+        regs[inst->rd] =
+            regs[inst->ra]
+            << ((inst->useImm ? static_cast<std::uint64_t>(inst->imm)
+                              : regs[inst->rb]) &
+                63);
+        HFI_SIM_NEXT;
+    op_Shr:
+        regs[inst->rd] =
+            regs[inst->ra] >>
+            ((inst->useImm ? static_cast<std::uint64_t>(inst->imm)
+                           : regs[inst->rb]) &
+             63);
+        HFI_SIM_NEXT;
+    op_Mov:
+        regs[inst->rd] = regs[inst->ra];
+        HFI_SIM_NEXT;
+    op_Movi:
+        regs[inst->rd] = static_cast<std::uint64_t>(inst->imm);
+        HFI_SIM_NEXT;
+    op_Nop:
+        HFI_SIM_NEXT;
+
+    op_Load: {
+        std::uint64_t addr =
+            regs[inst->ra] + static_cast<std::uint64_t>(inst->imm);
+        if (inst->useIndex)
+            addr += regs[inst->rb] * inst->scale;
+        const core::CheckResult check = core::AccessChecker::checkData(
+            state.hfi, addr, inst->width, false);
+        if (!check.ok)
+            HFI_SIM_FAULT(check.reason);
+        regs[inst->rd] = view.load(addr, inst->width);
+        HFI_SIM_NEXT;
+    }
+    op_Store: {
+        std::uint64_t addr =
+            regs[inst->ra] + static_cast<std::uint64_t>(inst->imm);
+        if (inst->useIndex)
+            addr += regs[inst->rb] * inst->scale;
+        const core::CheckResult check = core::AccessChecker::checkData(
+            state.hfi, addr, inst->width, true);
+        if (!check.ok)
+            HFI_SIM_FAULT(check.reason);
+        view.store(addr, regs[inst->rd], inst->width);
+        HFI_SIM_NEXT;
+    }
+    op_HmovLoad: {
+        if (!state.hfi.enabled)
+            goto op_slow; // invalid opcode outside HFI mode
+        core::HmovOperands ops;
+        ops.index = inst->useIndex
+                        ? static_cast<std::int64_t>(regs[inst->rb])
+                        : 0;
+        ops.scale = inst->scale;
+        ops.displacement = inst->imm;
+        ops.width = inst->width;
+        const core::HmovResult res = core::AccessChecker::checkHmov(
+            state.hfi, inst->region, ops, false);
+        if (!res.ok)
+            HFI_SIM_FAULT(res.reason);
+        regs[inst->rd] = view.load(res.address, inst->width);
+        HFI_SIM_NEXT;
+    }
+    op_HmovStore: {
+        if (!state.hfi.enabled)
+            goto op_slow;
+        core::HmovOperands ops;
+        ops.index = inst->useIndex
+                        ? static_cast<std::int64_t>(regs[inst->rb])
+                        : 0;
+        ops.scale = inst->scale;
+        ops.displacement = inst->imm;
+        ops.width = inst->width;
+        const core::HmovResult res = core::AccessChecker::checkHmov(
+            state.hfi, inst->region, ops, true);
+        if (!res.ok)
+            HFI_SIM_FAULT(res.reason);
+        view.store(res.address, regs[inst->rd], inst->width);
+        HFI_SIM_NEXT;
+    }
+
+    op_Beq:
+        if (static_cast<std::int64_t>(regs[inst->ra]) ==
+            static_cast<std::int64_t>(regs[inst->rb]))
+            goto take_branch;
+        HFI_SIM_NEXT;
+    op_Bne:
+        if (static_cast<std::int64_t>(regs[inst->ra]) !=
+            static_cast<std::int64_t>(regs[inst->rb]))
+            goto take_branch;
+        HFI_SIM_NEXT;
+    op_Blt:
+        if (static_cast<std::int64_t>(regs[inst->ra]) <
+            static_cast<std::int64_t>(regs[inst->rb]))
+            goto take_branch;
+        HFI_SIM_NEXT;
+    op_Bge:
+        if (static_cast<std::int64_t>(regs[inst->ra]) >=
+            static_cast<std::int64_t>(regs[inst->rb]))
+            goto take_branch;
+        HFI_SIM_NEXT;
+    op_Jmp:
+    take_branch: {
+        const std::size_t t = program.targetIndexOf(index);
+        if (t == Program::kNoInst) {
+            // Target is not an instruction start: leave the fast loop
+            // with the architectural pc and let the reference step
+            // deliver the fetch fault / invalid opcode.
+            state.pc = inst->target;
+            goto bail;
+        }
+        index = t;
+        HFI_SIM_DISPATCH;
+    }
+    op_Call: {
+        regs[kLinkReg] = program.addressOf(index) + inst->length;
+        const std::size_t t = program.targetIndexOf(index);
+        if (t == Program::kNoInst) {
+            state.pc = inst->target;
+            goto bail;
+        }
+        index = t;
+        HFI_SIM_DISPATCH;
+    }
+    op_Ret: {
+        const std::uint64_t ret_pc = regs[kLinkReg];
+        const std::size_t t = program.indexAt(ret_pc);
+        if (t == Program::kNoInst) {
+            state.pc = ret_pc;
+            goto bail;
+        }
+        index = t;
+        HFI_SIM_DISPATCH;
+    }
+
+    op_Halt:
+        state.pc = program.addressOf(index) + inst->length;
+        return steps;
+
+    op_slow:
+        // Not a fast opcode (HFI instructions, syscall, cpuid, div,
+        // flush, ...) — or an hmov outside HFI mode. Re-run this
+        // instruction through the reference step (it was counted at
+        // dispatch, so uncount it first), which also re-proves the
+        // fetch predicate afterwards: these are exactly the
+        // instructions that can change the bank. Jumping straight to
+        // the reference step — not the loop top — is what terminates:
+        // re-entering the fast path would dispatch the same slow
+        // opcode forever.
+        --steps;
+        state.pc = program.addressOf(index);
+        goto reference_step;
+
+    bail:
+        continue;
+    }
+
+#undef HFI_SIM_DISPATCH
+#undef HFI_SIM_NEXT
+#undef HFI_SIM_FAULT
+}
+
+#else // !(__GNUC__ || __clang__)
+
+std::uint64_t
+FunctionalCore::run(const Program &program, ArchState &state,
+                    SimMemory &memory, std::uint64_t max_steps)
+{
+    return runReference(program, state, memory, max_steps);
+}
+
+#endif
 
 } // namespace hfi::sim

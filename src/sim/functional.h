@@ -109,6 +109,71 @@ struct ExecInfo
     bool isFlush = false;
 };
 
+/** Implementation helpers for FunctionalCore::executeOn. */
+namespace detail
+{
+
+/** Build the region value hfi_set_region writes, from the descriptor
+ *  registers (base in ra, bound/mask in rb) and permission bits. */
+inline core::Region
+regionFromDescriptor(unsigned region_number, std::uint64_t base,
+                     std::uint64_t bound, std::int64_t perms)
+{
+    const bool read = perms & 1;
+    const bool write = perms & 2;
+    const bool exec = perms & 4;
+    const bool large = perms & 8;
+    switch (core::regionClassOf(region_number)) {
+      case core::RegionClass::Code: {
+        core::ImplicitCodeRegion r;
+        r.basePrefix = base;
+        r.lsbMask = bound;
+        r.permExec = exec;
+        return r;
+      }
+      case core::RegionClass::ImplicitData: {
+        core::ImplicitDataRegion r;
+        r.basePrefix = base;
+        r.lsbMask = bound;
+        r.permRead = read;
+        r.permWrite = write;
+        return r;
+      }
+      case core::RegionClass::ExplicitData: {
+        core::ExplicitDataRegion r;
+        r.baseAddress = base;
+        r.bound = bound;
+        r.permRead = read;
+        r.permWrite = write;
+        r.isLargeRegion = large;
+        return r;
+      }
+    }
+    return core::EmptyRegion{};
+}
+
+/** Region-slot/type/shape validity, mirroring HfiContext::setRegion. */
+inline bool
+regionStorable(unsigned n, const core::Region &region)
+{
+    if (std::holds_alternative<core::EmptyRegion>(region))
+        return true;
+    switch (core::regionClassOf(n)) {
+      case core::RegionClass::Code:
+        return std::holds_alternative<core::ImplicitCodeRegion>(region) &&
+               std::get<core::ImplicitCodeRegion>(region).wellFormed();
+      case core::RegionClass::ImplicitData:
+        return std::holds_alternative<core::ImplicitDataRegion>(region) &&
+               std::get<core::ImplicitDataRegion>(region).wellFormed();
+      case core::RegionClass::ExplicitData:
+        return std::holds_alternative<core::ExplicitDataRegion>(region) &&
+               std::get<core::ExplicitDataRegion>(region).wellFormed();
+    }
+    return false;
+}
+
+} // namespace detail
+
 /**
  * Executes one instruction: updates @p state (registers, pc, HFI bank,
  * MSR) through @p mem, enforcing HFI semantics with the bit-level
@@ -122,13 +187,276 @@ class FunctionalCore
                             ArchState &state, MemView &mem);
 
     /**
+     * The executor itself, generic over the memory interface so the
+     * standalone run loop can use a non-virtual adapter (the whole
+     * instruction dispatch then inlines, including SimMemory's word
+     * fast path), while the pipeline keeps the virtual MemView for its
+     * store-queue interposition. `execute` above is exactly
+     * `executeOn<MemView>`.
+     */
+    template <typename Mem>
+    static ExecInfo
+    executeOn(const Inst &inst, std::uint64_t pc, ArchState &state, Mem &mem)
+    {
+        ExecInfo info;
+        info.nextPc = pc + inst.length;
+    
+        auto &regs = state.regs;
+        const std::uint64_t ra = regs[inst.ra];
+        const std::uint64_t rb_or_imm =
+            inst.useImm ? static_cast<std::uint64_t>(inst.imm) : regs[inst.rb];
+    
+        auto fault = [&](core::ExitReason reason) {
+            info.faulted = true;
+            info.faultReason = reason;
+            // §3.3.2: HFI disables the sandbox, records the cause in the
+            // MSR, and raises a trap — but those are *retirement* effects.
+            // A speculatively faulting instruction must leave the HFI bank
+            // untouched so younger wrong-path instructions stay checked
+            // (otherwise the fault itself would re-open the side channel).
+            // The caller applies the architectural effects at commit.
+            info.nextPc = pc; // architectural pc of the faulting instruction
+        };
+    
+        switch (inst.op) {
+          case Opcode::Add: regs[inst.rd] = ra + rb_or_imm; break;
+          case Opcode::Sub: regs[inst.rd] = ra - rb_or_imm; break;
+          case Opcode::Mul: regs[inst.rd] = ra * rb_or_imm; break;
+          case Opcode::Div:
+            regs[inst.rd] = rb_or_imm ? ra / rb_or_imm : 0;
+            break;
+          case Opcode::And: regs[inst.rd] = ra & rb_or_imm; break;
+          case Opcode::Or: regs[inst.rd] = ra | rb_or_imm; break;
+          case Opcode::Xor: regs[inst.rd] = ra ^ rb_or_imm; break;
+          case Opcode::Shl: regs[inst.rd] = ra << (rb_or_imm & 63); break;
+          case Opcode::Shr: regs[inst.rd] = ra >> (rb_or_imm & 63); break;
+          case Opcode::Mov: regs[inst.rd] = ra; break;
+          case Opcode::Movi:
+            regs[inst.rd] = static_cast<std::uint64_t>(inst.imm);
+            break;
+    
+          case Opcode::Load:
+          case Opcode::Store: {
+            std::uint64_t addr =
+                ra + static_cast<std::uint64_t>(inst.imm);
+            if (inst.useIndex)
+                addr += regs[inst.rb] * inst.scale;
+            info.isMem = true;
+            info.isWrite = inst.op == Opcode::Store;
+            info.memAddr = addr;
+            info.memWidth = inst.width;
+            // Implicit data-region check, in parallel with the dtb (§4.1).
+            const core::CheckResult check = core::AccessChecker::checkData(
+                state.hfi, addr, inst.width, info.isWrite);
+            if (!check.ok) {
+                fault(check.reason);
+                break;
+            }
+            if (info.isWrite)
+                mem.store(addr, regs[inst.rd], inst.width);
+            else
+                regs[inst.rd] = mem.load(addr, inst.width);
+            break;
+          }
+    
+          case Opcode::HmovLoad:
+          case Opcode::HmovStore: {
+            info.isMem = true;
+            info.isWrite = inst.op == Opcode::HmovStore;
+            info.memWidth = inst.width;
+            core::HmovOperands ops;
+            ops.index = inst.useIndex
+                            ? static_cast<std::int64_t>(regs[inst.rb])
+                            : 0;
+            ops.scale = inst.scale;
+            ops.displacement = inst.imm;
+            ops.width = inst.width;
+            if (!state.hfi.enabled) {
+                // hmov outside HFI mode is an invalid opcode.
+                fault(core::ExitReason::HardwareFault);
+                break;
+            }
+            const core::HmovResult res = core::AccessChecker::checkHmov(
+                state.hfi, inst.region, ops, info.isWrite);
+            if (!res.ok) {
+                fault(res.reason);
+                break;
+            }
+            info.memAddr = res.address;
+            if (info.isWrite)
+                mem.store(res.address, regs[inst.rd], inst.width);
+            else
+                regs[inst.rd] = mem.load(res.address, inst.width);
+            break;
+          }
+    
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge: {
+            info.isBranch = true;
+            const auto a = static_cast<std::int64_t>(ra);
+            const auto b = static_cast<std::int64_t>(regs[inst.rb]);
+            switch (inst.op) {
+              case Opcode::Beq: info.branchTaken = a == b; break;
+              case Opcode::Bne: info.branchTaken = a != b; break;
+              case Opcode::Blt: info.branchTaken = a < b; break;
+              default: info.branchTaken = a >= b; break;
+            }
+            if (info.branchTaken)
+                info.nextPc = inst.target;
+            break;
+          }
+          case Opcode::Jmp:
+            info.isBranch = true;
+            info.branchTaken = true;
+            info.nextPc = inst.target;
+            break;
+          case Opcode::Call:
+            info.isBranch = true;
+            info.branchTaken = true;
+            regs[kLinkReg] = pc + inst.length;
+            info.nextPc = inst.target;
+            break;
+          case Opcode::Ret:
+            info.isBranch = true;
+            info.branchTaken = true;
+            info.nextPc = regs[kLinkReg];
+            break;
+    
+          case Opcode::Syscall:
+            info.isSyscall = true;
+            if (state.hfi.enabled && !state.hfi.config.isHybrid) {
+                // §4.4: redirect to the exit handler; HFI mode is disabled
+                // atomically and the MSR records the cause.
+                state.hfi.enabled = false;
+                state.msr = core::ExitReason::Syscall;
+                info.nextPc = state.hfi.config.exitHandler;
+                if (state.hfi.config.isSerialized)
+                    info.serializes = true;
+                if (info.nextPc == 0)
+                    fault(core::ExitReason::Syscall);
+            } else if (inst.imm == 231) { // exit_group
+                info.halted = true;
+            }
+            break;
+    
+          case Opcode::Cpuid:
+            info.serializes = true;
+            // Clobbers its output registers (r12/r13 by our convention —
+            // compilers never keep live values in cpuid outputs).
+            regs[12] = 0x16;
+            regs[13] = 0x756e6547;
+            break;
+    
+          case Opcode::HfiEnter: {
+            const bool switch_on_exit = inst.imm & 4;
+            if (switch_on_exit) {
+                // §4.5: preserve the trusted runtime's bank in the shadow
+                // registers before loading the child's configuration.
+                state.hfiShadow = state.hfi;
+                state.shadowValid = true;
+            }
+            state.hfi.config.isHybrid = inst.imm & 1;
+            state.hfi.config.isSerialized = inst.imm & 2;
+            state.hfi.config.switchOnExit = switch_on_exit;
+            state.hfi.config.exitHandler = regs[kExitHandlerReg];
+            state.hfi.enabled = true;
+            if (state.hfi.config.isSerialized)
+                info.serializes = true;
+            break;
+          }
+          case Opcode::HfiExit:
+            if (state.hfi.enabled && state.hfi.config.switchOnExit &&
+                state.shadowValid) {
+                // §4.5: atomically switch back to the runtime's bank; HFI
+                // stays enabled, so even a *speculative* hfi_exit leaves
+                // execution checked — no serialization needed.
+                state.hfi = state.hfiShadow;
+                state.shadowValid = false;
+                state.msr = core::ExitReason::HfiExit;
+                break;
+            }
+            if (state.hfi.config.isSerialized)
+                info.serializes = true;
+            state.hfi.enabled = false;
+            state.msr = core::ExitReason::HfiExit;
+            break;
+    
+          case Opcode::HfiSetRegion: {
+            if (state.hfi.enabled && !state.hfi.config.isHybrid) {
+                fault(core::ExitReason::IllegalRegionUpdate);
+                break;
+            }
+            const core::Region region = detail::regionFromDescriptor(
+                inst.region, ra, regs[inst.rb], inst.imm);
+            if (inst.region >= core::kNumRegions ||
+                !detail::regionStorable(inst.region, region)) {
+                fault(core::ExitReason::IllegalRegionUpdate);
+                break;
+            }
+            state.hfi.setRegion(inst.region, region);
+            // §4.3: serializes inside a hybrid sandbox.
+            if (state.hfi.enabled)
+                info.serializes = true;
+            break;
+          }
+          case Opcode::HfiClearRegion:
+            if (state.hfi.enabled && !state.hfi.config.isHybrid) {
+                fault(core::ExitReason::IllegalRegionUpdate);
+                break;
+            }
+            if (inst.region >= core::kNumRegions) {
+                fault(core::ExitReason::IllegalRegionUpdate);
+                break;
+            }
+            state.hfi.setRegion(inst.region, core::EmptyRegion{});
+            if (state.hfi.enabled)
+                info.serializes = true;
+            break;
+    
+          case Opcode::Flush:
+            // clflush: evicts the line; no data moves, no HFI data check
+            // (the address reveals nothing the attacker does not control).
+            info.isFlush = true;
+            info.memAddr = ra + static_cast<std::uint64_t>(inst.imm);
+            break;
+    
+          case Opcode::Halt:
+            info.halted = true;
+            break;
+          case Opcode::Nop:
+            break;
+        }
+    
+        if (!info.faulted)
+            state.pc = info.nextPc;
+        return info;
+    }
+
+    /**
      * Run @p program on @p state / @p memory in order until Halt, a
-     * fault, or @p max_steps. The reference executor for tests.
-     * @return number of instructions executed.
+     * fault, or @p max_steps. @return number of instructions executed.
+     *
+     * Uses a threaded-dispatch interpreter with predecoded branch
+     * targets, and elides the per-instruction fetch check whenever the
+     * current HFI bank provably passes it for every address in the
+     * program (re-proved after any instruction that can touch the
+     * bank). Architecturally indistinguishable from runReference —
+     * tests cross-validate the two over the whole kernel suite.
      */
     static std::uint64_t run(const Program &program, ArchState &state,
                              SimMemory &memory,
                              std::uint64_t max_steps = 100'000'000);
+
+    /**
+     * The straightforward fetch→check→executeOn loop: one instruction
+     * at a time, every check performed literally. The semantic
+     * reference that run() is validated against.
+     */
+    static std::uint64_t runReference(const Program &program,
+                                      ArchState &state, SimMemory &memory,
+                                      std::uint64_t max_steps = 100'000'000);
 };
 
 } // namespace hfi::sim

@@ -3,18 +3,32 @@
  * Sparse byte-addressable memory for the pipeline simulator. Pages are
  * allocated on first touch and read as zero before any write, so
  * programs can assume a zeroed address space like a fresh mmap.
+ *
+ * Accesses are word-granular: a whole-width read or write that stays
+ * inside one 4 KiB page is a single memcpy into/out of the page array
+ * (little-endian, matching the modeled ISA), and a one-entry last-page
+ * cache skips the hash lookup when consecutive accesses hit the same
+ * page — the overwhelmingly common case for the Fig 2 kernels. Only
+ * page-straddling accesses fall back to the byte loop.
  */
 
 #ifndef HFI_SIM_MEMORY_H
 #define HFI_SIM_MEMORY_H
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <unordered_map>
 
 namespace hfi::sim
 {
+
+// The memcpy fast path reinterprets page bytes as little-endian words,
+// which is only correct when the host is little-endian too.
+static_assert(std::endian::native == std::endian::little,
+              "SimMemory's word fast path assumes a little-endian host");
 
 class SimMemory
 {
@@ -25,49 +39,115 @@ class SimMemory
     std::uint64_t
     read(std::uint64_t addr, unsigned width) const
     {
-        std::uint64_t value = 0;
-        for (unsigned i = 0; i < width; ++i)
-            value |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
-        return value;
+        const std::uint64_t off = addr % kPageBytes;
+        if (off + width <= kPageBytes) {
+            const Page *page = findPage(addr / kPageBytes);
+            if (!page)
+                return 0;
+            std::uint64_t value = 0;
+            std::memcpy(&value, page->data() + off, width);
+            return value;
+        }
+        return readSplit(addr, width);
     }
 
     /** Write the low @p width bytes of @p value, little-endian. */
     void
     write(std::uint64_t addr, std::uint64_t value, unsigned width)
     {
-        for (unsigned i = 0; i < width; ++i)
-            writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+        const std::uint64_t off = addr % kPageBytes;
+        if (off + width <= kPageBytes) {
+            std::memcpy(touchPage(addr / kPageBytes)->data() + off, &value,
+                        width);
+            return;
+        }
+        writeSplit(addr, value, width);
     }
 
     std::uint8_t
     readByte(std::uint64_t addr) const
     {
-        const auto it = pages.find(addr / kPageBytes);
-        if (it == pages.end())
-            return 0;
-        return it->second[addr % kPageBytes];
+        const Page *page = findPage(addr / kPageBytes);
+        return page ? (*page)[addr % kPageBytes] : 0;
     }
 
     void
     writeByte(std::uint64_t addr, std::uint8_t value)
     {
-        pages[addr / kPageBytes][addr % kPageBytes] = value;
+        (*touchPage(addr / kPageBytes))[addr % kPageBytes] = value;
     }
 
-    /** Bulk helpers for staging test data. */
+    /** Bulk helper for staging test data: page-sized memcpy chunks. */
     void
     writeBytes(std::uint64_t addr, const void *src, std::uint64_t len)
     {
         const auto *bytes = static_cast<const std::uint8_t *>(src);
-        for (std::uint64_t i = 0; i < len; ++i)
-            writeByte(addr + i, bytes[i]);
+        while (len > 0) {
+            const std::uint64_t off = addr % kPageBytes;
+            const std::uint64_t chunk = std::min(kPageBytes - off, len);
+            std::memcpy(touchPage(addr / kPageBytes)->data() + off, bytes,
+                        chunk);
+            addr += chunk;
+            bytes += chunk;
+            len -= chunk;
+        }
     }
 
     std::size_t touchedPages() const { return pages.size(); }
 
   private:
-    std::unordered_map<std::uint64_t, std::array<std::uint8_t, kPageBytes>>
-        pages;
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    /**
+     * Existing page @p pn, or nullptr. Caches the last hit only — never
+     * the absence of a page — so a later allocation cannot be shadowed
+     * by a stale negative entry. Cached pointers stay valid because
+     * unordered_map never moves its nodes.
+     */
+    const Page *
+    findPage(std::uint64_t pn) const
+    {
+        if (lastPage && lastPageNumber == pn)
+            return lastPage;
+        const auto it = pages.find(pn);
+        if (it == pages.end())
+            return nullptr;
+        lastPageNumber = pn;
+        lastPage = &it->second;
+        return lastPage;
+    }
+
+    /** Page @p pn, allocated (zero-filled) on first touch. */
+    Page *
+    touchPage(std::uint64_t pn)
+    {
+        if (lastPage && lastPageNumber == pn)
+            return const_cast<Page *>(lastPage);
+        Page &page = pages[pn]; // value-initialized: reads-before-writes are 0
+        lastPageNumber = pn;
+        lastPage = &page;
+        return &page;
+    }
+
+    std::uint64_t
+    readSplit(std::uint64_t addr, unsigned width) const
+    {
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < width; ++i)
+            value |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+        return value;
+    }
+
+    void
+    writeSplit(std::uint64_t addr, std::uint64_t value, unsigned width)
+    {
+        for (unsigned i = 0; i < width; ++i)
+            writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+
+    std::unordered_map<std::uint64_t, Page> pages;
+    mutable std::uint64_t lastPageNumber = 0;
+    mutable const Page *lastPage = nullptr;
 };
 
 } // namespace hfi::sim

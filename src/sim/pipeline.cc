@@ -134,7 +134,7 @@ Pipeline::fetchStage()
 
     unsigned budget = config_.fetchBytes;
     while (budget > 0 && decodeQueue.size() < config_.decodeQueueDepth) {
-        const Inst *inst = program.at(fetchPc);
+        const Inst *inst = program.fetch(fetchPc, &fetchHint_);
         if (!inst) {
             fetchHalted = true;
             return;

@@ -192,6 +192,8 @@ class Pipeline
     std::uint64_t cycle = 0;
     std::uint64_t seqCounter = 0;
     std::uint64_t fetchPc = 0;
+    /** Sequential hint for Program::fetch; self-corrects on redirects. */
+    std::size_t fetchHint_ = 0;
     std::uint64_t fetchStallUntil = 0;
     bool fetchHalted = false;
     bool serializePending = false;

@@ -12,17 +12,20 @@ Program::Program(std::uint64_t base, std::vector<Inst> instructions)
     addrs.reserve(insts.size());
     for (std::size_t i = 0; i < insts.size(); ++i) {
         addrs.push_back(at);
-        byAddr[at] = i;
         at += insts[i].length;
     }
     end_ = at;
-}
 
-const Inst *
-Program::at(std::uint64_t addr) const
-{
-    const auto it = byAddr.find(addr);
-    return it == byAddr.end() ? nullptr : &insts[it->second];
+    byOffset.assign(static_cast<std::size_t>(end_ - base_), -1);
+    for (std::size_t i = 0; i < insts.size(); ++i)
+        byOffset[static_cast<std::size_t>(addrs[i] - base_)] =
+            static_cast<std::int32_t>(i);
+
+    targetIdx.resize(insts.size());
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const std::size_t t = indexAt(insts[i].target);
+        targetIdx[i] = t == kNoInst ? -1 : static_cast<std::int32_t>(t);
+    }
 }
 
 ProgramBuilder &
@@ -405,7 +408,10 @@ ProgramBuilder::build()
     for (const auto &[index, name] : fixups) {
         const auto it = labels.find(name);
         if (it == labels.end())
-            throw std::logic_error("undefined label: " + name);
+            throw std::logic_error(
+                "undefined label: " + name + " (referenced by instruction " +
+                std::to_string(index) + ", " + opcodeName(insts[index].op) +
+                ")");
         insts[index].target = addrs[it->second];
     }
     return Program(codeBase, insts);

@@ -45,10 +45,66 @@ class Program
      * mid-instruction or outside the program is an invalid-opcode
      * fault).
      */
-    const Inst *at(std::uint64_t addr) const;
+    const Inst *
+    at(std::uint64_t addr) const
+    {
+        const std::size_t index = indexAt(addr);
+        return index == kNoInst ? nullptr : &insts[index];
+    }
+
+    /**
+     * Instruction fetch with a caller-held sequential hint.
+     *
+     * @p hint is the index the caller expects to fetch next (typically
+     * last index + 1, maintained by the caller across calls). When the
+     * hinted instruction starts exactly at @p addr — the common case of
+     * straight-line execution — the fetch is a single load-and-compare;
+     * otherwise (taken branch, call, return) it falls back to the dense
+     * offset table. On success *hint is updated to index + 1 so the
+     * next sequential fetch hits again.
+     */
+    const Inst *
+    fetch(std::uint64_t addr, std::size_t *hint) const
+    {
+        std::size_t index = *hint;
+        if (index >= insts.size() || addrs[index] != addr) {
+            index = indexAt(addr);
+            if (index == kNoInst)
+                return nullptr;
+        }
+        *hint = index + 1;
+        return &insts[index];
+    }
+
+    /** Sentinel for "no instruction starts at this address". */
+    static constexpr std::size_t kNoInst = static_cast<std::size_t>(-1);
+
+    /** Index of the instruction starting at @p addr, or kNoInst. */
+    std::size_t
+    indexAt(std::uint64_t addr) const
+    {
+        if (addr < base_ || addr >= end_)
+            return kNoInst;
+        const std::int32_t index =
+            byOffset[static_cast<std::size_t>(addr - base_)];
+        return index < 0 ? kNoInst : static_cast<std::size_t>(index);
+    }
 
     /** Byte address of instruction @p index. */
     std::uint64_t addressOf(std::size_t index) const { return addrs[index]; }
+
+    /**
+     * Predecoded index of instruction @p index's control-flow target
+     * (kNoInst when the target is not an instruction start — including
+     * non-control instructions, whose target field is 0). Lets the
+     * interpreter take a branch without an address lookup.
+     */
+    std::size_t
+    targetIndexOf(std::size_t index) const
+    {
+        const std::int32_t t = targetIdx[index];
+        return t < 0 ? kNoInst : static_cast<std::size_t>(t);
+    }
 
     const std::vector<Inst> &instructions() const { return insts; }
 
@@ -57,7 +113,15 @@ class Program
     std::uint64_t end_ = 0;
     std::vector<Inst> insts;
     std::vector<std::uint64_t> addrs;
-    std::map<std::uint64_t, std::size_t> byAddr;
+    /**
+     * Dense code-offset -> instruction-index table (-1 where no
+     * instruction starts). Code is contiguous from base_, so the table
+     * is exactly codeBytes() entries and a fetch is one bounds check
+     * plus one indexed load — no ordered-map walk on the hot path.
+     */
+    std::vector<std::int32_t> byOffset;
+    /** Per-instruction predecoded target index (-1 = not a target). */
+    std::vector<std::int32_t> targetIdx;
 };
 
 /**

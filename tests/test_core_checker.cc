@@ -30,7 +30,7 @@ class CheckerTest : public ::testing::Test
         r.lsbMask = mask;
         r.permRead = rd;
         r.permWrite = wr;
-        bank.regions[slot] = r;
+        bank.setRegion(slot, r);
     }
 
     void
@@ -41,7 +41,7 @@ class CheckerTest : public ::testing::Test
         r.basePrefix = base;
         r.lsbMask = mask;
         r.permExec = exec;
-        bank.regions[slot] = r;
+        bank.setRegion(slot, r);
     }
 
     void
@@ -54,7 +54,7 @@ class CheckerTest : public ::testing::Test
         r.permRead = rd;
         r.permWrite = wr;
         r.isLargeRegion = large;
-        bank.regions[kFirstExplicitRegion + index] = r;
+        bank.setRegion(kFirstExplicitRegion + index, r);
     }
 
     HfiRegisterFile bank{};
@@ -266,7 +266,7 @@ TEST_P(HmovEquivalence, HardwareMatchesNaive)
     r.permWrite = true;
     r.isLargeRegion = param.large;
     ASSERT_TRUE(r.wellFormed());
-    bank.regions[kFirstExplicitRegion] = r;
+    bank.setRegion(kFirstExplicitRegion, r);
 
     // Sweep offsets around the region edges and a few interior points,
     // crossed with widths and scales.

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the serving engine's real-threads mode: one host
+ * std::thread per simulated core, which is only sound because an
+ * open-loop, round-robin, no-stealing configuration decomposes into
+ * independent per-shard event loops. The contract is bit-identity with
+ * the sequential driver — not "statistically close", identical — so
+ * these tests compare every merged statistic and the full per-request
+ * latency sample vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/engine.h"
+
+namespace
+{
+
+using namespace hfi;
+using namespace hfi::serve;
+
+Handler
+testHandler()
+{
+    return [](sfi::Sandbox &s, std::uint32_t seed) {
+        for (int i = 0; i < 16; ++i)
+            s.store<std::uint32_t>(64 + (i % 16) * 4, seed + i);
+        s.chargeOps(30'000);
+    };
+}
+
+EngineConfig
+threadableConfig(unsigned workers)
+{
+    EngineConfig ec;
+    ec.workers = workers;
+    ec.mode = LoadMode::OpenLoop;
+    ec.requests = 300;
+    ec.meanInterarrivalNs = 4'000.0;
+    ec.seed = 77;
+    ec.workStealing = false;
+    ec.sharding = Sharding::RoundRobin;
+    ec.worker.scheme = Scheme::HfiNative;
+    ec.worker.quantumNs = 50'000.0;
+    return ec;
+}
+
+void
+expectIdentical(const ServeResult &a, const ServeResult &b)
+{
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.stolen, b.stolen);
+    EXPECT_EQ(a.maxQueueDepth, b.maxQueueDepth);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.instancesCreated, b.instancesCreated);
+    EXPECT_EQ(a.reclaimBatches, b.reclaimBatches);
+    EXPECT_EQ(a.hfiStateMismatches, b.hfiStateMismatches);
+    EXPECT_EQ(a.durationNs, b.durationNs);
+    EXPECT_EQ(a.throughputRps, b.throughputRps);
+    EXPECT_EQ(a.meanLatencyNs, b.meanLatencyNs);
+    EXPECT_EQ(a.latency.p50, b.latency.p50);
+    EXPECT_EQ(a.latency.p95, b.latency.p95);
+    EXPECT_EQ(a.latency.p99, b.latency.p99);
+    EXPECT_EQ(a.latency.p999, b.latency.p999);
+    ASSERT_EQ(a.latencies.values(), b.latencies.values());
+}
+
+TEST(ServeThreads, ThreadedRunIsBitIdenticalToSequential)
+{
+    for (unsigned workers : {2u, 3u, 4u}) {
+        SCOPED_TRACE(workers);
+        auto cfg = threadableConfig(workers);
+        cfg.realThreads = true;
+        const auto threaded = ServeEngine(cfg, testHandler()).run();
+        EXPECT_EQ(threaded.usedThreads, workers);
+
+        cfg.realThreads = false;
+        const auto sequential = ServeEngine(cfg, testHandler()).run();
+        EXPECT_EQ(sequential.usedThreads, 1u);
+
+        expectIdentical(threaded, sequential);
+    }
+}
+
+TEST(ServeThreads, BoundedQueuesShedIdenticallyUnderThreads)
+{
+    // Shedding is the subtlest part of the decomposition argument: the
+    // admit-vs-serve tie break must play out per shard exactly as it
+    // does in the global loop.
+    auto cfg = threadableConfig(4);
+    cfg.requests = 600;
+    cfg.meanInterarrivalNs = 1'000.0; // heavy overload
+    cfg.queueCapacity = 4;
+    cfg.realThreads = true;
+    const auto threaded = ServeEngine(cfg, testHandler()).run();
+    EXPECT_GT(threaded.shed, 0u);
+
+    cfg.realThreads = false;
+    const auto sequential = ServeEngine(cfg, testHandler()).run();
+    expectIdentical(threaded, sequential);
+}
+
+TEST(ServeThreads, ThreadedRunsAreRepeatable)
+{
+    auto cfg = threadableConfig(4);
+    cfg.realThreads = true;
+    const auto a = ServeEngine(cfg, testHandler()).run();
+    const auto b = ServeEngine(cfg, testHandler()).run();
+    expectIdentical(a, b);
+}
+
+TEST(ServeThreads, NonDecomposableConfigsFallBackToSequential)
+{
+    // Work stealing couples the shards: must not thread.
+    auto stealing = threadableConfig(4);
+    stealing.realThreads = true;
+    stealing.workStealing = true;
+    EXPECT_EQ(ServeEngine(stealing, testHandler()).run().usedThreads, 1u);
+
+    // Closed loop couples arrivals to completions: must not thread.
+    auto closed = threadableConfig(4);
+    closed.realThreads = true;
+    closed.mode = LoadMode::ClosedLoop;
+    closed.clients = 8;
+    EXPECT_EQ(ServeEngine(closed, testHandler()).run().usedThreads, 1u);
+
+    // Single-shard routing funnels everything to shard 0: must not
+    // thread.
+    auto single = threadableConfig(4);
+    single.realThreads = true;
+    single.sharding = Sharding::SingleShard;
+    EXPECT_EQ(ServeEngine(single, testHandler()).run().usedThreads, 1u);
+
+    // One worker: the sequential driver is the per-shard loop already.
+    auto one = threadableConfig(1);
+    one.realThreads = true;
+    EXPECT_EQ(ServeEngine(one, testHandler()).run().usedThreads, 1u);
+}
+
+} // namespace
