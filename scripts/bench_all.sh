@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Run every benchmark binary in a build tree's bench/ directory and
+# print the total wall time. Used by the `bench_all` CMake target:
+#
+#   cmake --build build --target bench_all
+#
+# Usage: bench_all.sh BENCH_DIR [args passed to every bench...]
+set -eu
+
+bench_dir="${1:?usage: bench_all.sh BENCH_DIR}"
+shift || true
+
+start=$(date +%s)
+count=0
+for bench in "$bench_dir"/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    echo "==> $(basename "$bench")"
+    "$bench" "$@"
+    count=$((count + 1))
+done
+end=$(date +%s)
+
+echo ""
+echo "bench_all: ran $count benchmarks in $((end - start)) s total"

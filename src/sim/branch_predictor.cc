@@ -1,5 +1,7 @@
 #include "sim/branch_predictor.h"
 
+#include <bit>
+
 namespace hfi::sim
 {
 
@@ -7,18 +9,22 @@ BranchPredictor::BranchPredictor(PredictorConfig config)
     : config_(config), pht(config.phtEntries, 1), btb(config.btbEntries),
       rsb(config.rsbDepth, 0)
 {
+    if (std::has_single_bit(pht.size()))
+        phtMask_ = pht.size() - 1;
+    if (std::has_single_bit(btb.size()))
+        btbMask_ = btb.size() - 1;
 }
 
 bool
 BranchPredictor::predictDirection(std::uint64_t pc) const
 {
-    return pht[(pc >> 2) % pht.size()] >= 2;
+    return pht[phtIndex(pc)] >= 2;
 }
 
 void
 BranchPredictor::updateDirection(std::uint64_t pc, bool taken)
 {
-    std::uint8_t &counter = pht[(pc >> 2) % pht.size()];
+    std::uint8_t &counter = pht[phtIndex(pc)];
     if (taken && counter < 3)
         ++counter;
     else if (!taken && counter > 0)
@@ -28,14 +34,14 @@ BranchPredictor::updateDirection(std::uint64_t pc, bool taken)
 std::uint64_t
 BranchPredictor::predictTarget(std::uint64_t pc) const
 {
-    const BtbEntry &entry = btb[(pc >> 2) % btb.size()];
+    const BtbEntry &entry = btb[btbIndex(pc)];
     return entry.valid && entry.pc == pc ? entry.target : 0;
 }
 
 void
 BranchPredictor::updateTarget(std::uint64_t pc, std::uint64_t target)
 {
-    BtbEntry &entry = btb[(pc >> 2) % btb.size()];
+    BtbEntry &entry = btb[btbIndex(pc)];
     entry.valid = true;
     entry.pc = pc;
     entry.target = target;

@@ -56,6 +56,20 @@ class BranchPredictor
     void countMispredict() { ++mispredicts_; }
 
   private:
+    std::size_t
+    phtIndex(std::uint64_t pc) const
+    {
+        return phtMask_ ? ((pc >> 2) & phtMask_)
+                        : ((pc >> 2) % pht.size());
+    }
+
+    std::size_t
+    btbIndex(std::uint64_t pc) const
+    {
+        return btbMask_ ? ((pc >> 2) & btbMask_)
+                        : ((pc >> 2) % btb.size());
+    }
+
     PredictorConfig config_;
     std::vector<std::uint8_t> pht; ///< 2-bit saturating counters
     struct BtbEntry
@@ -68,6 +82,10 @@ class BranchPredictor
     std::vector<std::uint64_t> rsb;
     std::size_t rsbTop = 0;
     std::uint64_t mispredicts_ = 0;
+    /** Index masks when the table sizes are powers of two (0 = use the
+     *  modulo fallback). Same indices either way. */
+    std::size_t phtMask_ = 0;
+    std::size_t btbMask_ = 0;
 };
 
 } // namespace hfi::sim

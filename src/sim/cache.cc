@@ -1,5 +1,7 @@
 #include "sim/cache.h"
 
+#include <bit>
+
 namespace hfi::sim
 {
 
@@ -9,14 +11,24 @@ Cache::Cache(CacheConfig config)
                                  (config.ways * config.lineBytes))),
       lines(static_cast<std::size_t>(sets) * config.ways)
 {
+    if (std::has_single_bit(config_.lineBytes) && std::has_single_bit(sets)) {
+        pow2_ = true;
+        lineShift_ = static_cast<unsigned>(std::countr_zero(config_.lineBytes));
+        setShift_ = static_cast<unsigned>(std::countr_zero(sets));
+    }
 }
 
 CacheAccess
 Cache::access(std::uint64_t addr)
 {
     const std::uint64_t line = lineFor(addr);
-    const unsigned set = static_cast<unsigned>(line % sets);
-    const std::uint64_t tag = line / sets;
+    if (lastLineValid_ && line == lastLine_) {
+        ++hits_;
+        return {true, config_.hitLatency};
+    }
+
+    const unsigned set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
     Line *entry = &lines[static_cast<std::size_t>(set) * config_.ways];
 
     Line *lru = entry;
@@ -25,6 +37,8 @@ Cache::access(std::uint64_t addr)
         if (way.valid && way.tag == tag) {
             way.lruStamp = ++stamp;
             ++hits_;
+            lastLine_ = line;
+            lastLineValid_ = true;
             return {true, config_.hitLatency};
         }
         if (!way.valid || way.lruStamp < lru->lruStamp)
@@ -36,6 +50,8 @@ Cache::access(std::uint64_t addr)
     lru->tag = tag;
     lru->lruStamp = ++stamp;
     ++misses_;
+    lastLine_ = line;
+    lastLineValid_ = true;
     return {false, config_.missLatency};
 }
 
@@ -50,8 +66,8 @@ bool
 Cache::contains(std::uint64_t addr) const
 {
     const std::uint64_t line = lineFor(addr);
-    const unsigned set = static_cast<unsigned>(line % sets);
-    const std::uint64_t tag = line / sets;
+    const unsigned set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
     const Line *entry = &lines[static_cast<std::size_t>(set) * config_.ways];
     for (unsigned w = 0; w < config_.ways; ++w) {
         if (entry[w].valid && entry[w].tag == tag)
@@ -64,13 +80,14 @@ void
 Cache::flush(std::uint64_t addr)
 {
     const std::uint64_t line = lineFor(addr);
-    const unsigned set = static_cast<unsigned>(line % sets);
-    const std::uint64_t tag = line / sets;
+    const unsigned set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
     Line *entry = &lines[static_cast<std::size_t>(set) * config_.ways];
     for (unsigned w = 0; w < config_.ways; ++w) {
         if (entry[w].valid && entry[w].tag == tag)
             entry[w].valid = false;
     }
+    lastLineValid_ = false;
 }
 
 void
@@ -78,6 +95,7 @@ Cache::flushAll()
 {
     for (Line &line : lines)
         line.valid = false;
+    lastLineValid_ = false;
 }
 
 } // namespace hfi::sim

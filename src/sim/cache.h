@@ -83,7 +83,18 @@ class Cache
 
     std::uint64_t lineFor(std::uint64_t addr) const
     {
-        return addr / config_.lineBytes;
+        return pow2_ ? addr >> lineShift_ : addr / config_.lineBytes;
+    }
+
+    unsigned setOf(std::uint64_t line) const
+    {
+        return pow2_ ? static_cast<unsigned>(line & (sets - 1))
+                     : static_cast<unsigned>(line % sets);
+    }
+
+    std::uint64_t tagOf(std::uint64_t line) const
+    {
+        return pow2_ ? line >> setShift_ : line / sets;
     }
 
     CacheConfig config_;
@@ -92,6 +103,21 @@ class Cache
     std::uint64_t stamp = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+
+    /** Shift/mask index math when geometry is power-of-two (it is for
+     *  every configured cache; the division path is the fallback). */
+    bool pow2_ = false;
+    unsigned lineShift_ = 0;
+    unsigned setShift_ = 0;
+
+    /**
+     * MRU filter: the line of the previous access(), if still valid.
+     * A repeat access must hit (nothing evicted it since) and already
+     * holds the youngest stamp in its set, so skipping the LRU re-stamp
+     * cannot change any replacement decision — the fast path is exact.
+     */
+    std::uint64_t lastLine_ = 0;
+    bool lastLineValid_ = false;
 };
 
 } // namespace hfi::sim

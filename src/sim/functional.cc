@@ -28,11 +28,9 @@ struct DirectMem
     }
 };
 
+} // namespace
+
 /**
- * True when AccessChecker::checkFetch is guaranteed to pass for every
- * address in [prog.base(), prog.end()), under the current bank, with
- * exactly the verdict the per-address check would give.
- *
  * With HFI off the check passes trivially. With HFI on, each code slot
  * matches an aligned power-of-two block; walking the slots in
  * first-match order, a slot whose block contains the whole program
@@ -40,8 +38,8 @@ struct DirectMem
  * return false so the generic loop delivers the fault), a slot whose
  * block is disjoint from the program decides none, and a slot that
  * partially overlaps means different addresses see different verdicts,
- * so no elision. The predicate is O(code slots), so the interpreter can
- * afford to re-prove it after every bank-touching instruction.
+ * so no elision. The predicate is O(code slots), so callers can afford
+ * to re-prove it after every bank-touching instruction.
  */
 bool
 fetchCoversProgram(const core::HfiRegisterFile &bank, const Program &prog)
@@ -66,8 +64,6 @@ fetchCoversProgram(const core::HfiRegisterFile &bank, const Program &prog)
     }
     return false; // nothing matches: every fetch faults (generic loop)
 }
-
-} // namespace
 
 ExecInfo
 FunctionalCore::execute(const Inst &inst, std::uint64_t pc, ArchState &state,

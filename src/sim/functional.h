@@ -28,12 +28,6 @@
 namespace hfi::sim
 {
 
-/** Link register used by Call/Ret. */
-constexpr unsigned kLinkReg = 14;
-
-/** Register holding the exit-handler address consumed by hfi_enter. */
-constexpr unsigned kExitHandlerReg = 15;
-
 /** Architectural (or speculative) machine state. Cheap to copy. */
 struct ArchState
 {
@@ -458,6 +452,17 @@ class FunctionalCore
                                       ArchState &state, SimMemory &memory,
                                       std::uint64_t max_steps = 100'000'000);
 };
+
+/**
+ * True when AccessChecker::checkFetch is guaranteed to pass for every
+ * address in [prog.base(), prog.end()) under @p bank, with exactly the
+ * verdict the per-address check would give. Both the interpreter and
+ * the pipeline use this predicate to elide the per-instruction fetch
+ * check on the straight-line path; it must be re-proved after any
+ * instruction that can touch the bank.
+ */
+bool fetchCoversProgram(const core::HfiRegisterFile &bank,
+                        const Program &prog);
 
 } // namespace hfi::sim
 

@@ -26,6 +26,12 @@ namespace hfi::sim
 /** Number of architectural integer registers. */
 constexpr unsigned kNumRegs = 16;
 
+/** Link register used by Call/Ret. */
+constexpr unsigned kLinkReg = 14;
+
+/** Register holding the exit-handler address consumed by hfi_enter. */
+constexpr unsigned kExitHandlerReg = 15;
+
 /** Opcodes of the micro-ISA. */
 enum class Opcode : std::uint8_t
 {

@@ -1,7 +1,7 @@
 #include "sim/pipeline.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <bit>
 
 namespace hfi::sim
 {
@@ -9,20 +9,32 @@ namespace hfi::sim
 std::uint64_t
 Pipeline::SpecMemView::load(std::uint64_t addr, unsigned width)
 {
-    // Committed memory, then forward bytes from older in-flight stores
-    // (oldest to youngest so the youngest write wins).
+    // Committed memory, then forward bytes from older in-flight stores.
+    // The walk is youngest-first with a filled-byte mask (first writer
+    // wins), equivalent to the old oldest-to-youngest overwrite loop
+    // but able to stop as soon as every byte is covered.
     std::uint64_t value = pipe.mem.read(addr, width);
-    for (const StoreEntry &s : pipe.storeQueue) {
-        if (s.seq >= seq)
-            break;
+    std::size_t k = pipe.storeCount_;
+    while (k > 0 && pipe.storeAt(k - 1).seq >= seq)
+        --k; // stores younger than the load cannot forward to it
+    if (k == 0)
+        return value;
+    const unsigned all = width >= 8 ? 0xffu : ((1u << width) - 1u);
+    unsigned filled = 0;
+    while (k-- > 0) {
+        const StoreEntry &s = pipe.storeAt(k);
         for (unsigned i = 0; i < width; ++i) {
             const std::uint64_t byte_addr = addr + i;
-            if (byte_addr >= s.addr && byte_addr < s.addr + s.width) {
+            if ((filled & (1u << i)) == 0 && byte_addr >= s.addr &&
+                byte_addr < s.addr + s.width) {
                 const auto byte = static_cast<std::uint64_t>(
                     (s.value >> (8 * (byte_addr - s.addr))) & 0xff);
                 value = (value & ~(0xffULL << (8 * i))) | (byte << (8 * i));
+                filled |= 1u << i;
             }
         }
+        if (filled == all)
+            break;
     }
     return value;
 }
@@ -31,8 +43,9 @@ void
 Pipeline::SpecMemView::store(std::uint64_t addr, std::uint64_t value,
                              unsigned width)
 {
-    pipe.storeQueue.push_back(
-        {seq, addr, value, static_cast<std::uint8_t>(width)});
+    // Capacity was enforced at dispatch (the sqSize gate).
+    pipe.storeAt(pipe.storeCount_++) = {seq, addr, value,
+                                        static_cast<std::uint8_t>(width)};
 }
 
 Pipeline::Pipeline(Program program, CpuConfig config)
@@ -41,6 +54,26 @@ Pipeline::Pipeline(Program program, CpuConfig config)
       aluFree(config.intAluCount, 0), mulFree(config.intMultCount, 0),
       memFree(config.memPortCount, 0)
 {
+    decode_.resize(std::bit_ceil(
+        std::max<std::size_t>(config_.decodeQueueDepth, 1)));
+    decodeMask_ = decode_.size() - 1;
+
+    const std::size_t rob_cap =
+        std::bit_ceil(std::max<std::size_t>(config_.robSize, 1));
+    rob_.resize(rob_cap);
+    snapshots_.resize(rob_cap);
+    resolveAt_.assign(rob_cap, UINT64_MAX);
+    robMask_ = rob_cap - 1;
+
+    stores_.resize(std::bit_ceil(std::max<std::size_t>(config_.sqSize, 1)));
+    storeMask_ = stores_.size() - 1;
+
+    issueRing_.resize(std::size_t{1} << 10);
+    issueMask_ = issueRing_.size() - 1;
+
+    resolveBuckets_.resize(std::size_t{1} << 10);
+    resolveBucketMask_ = resolveBuckets_.size() - 1;
+
     archState.pc = this->program.base();
 }
 
@@ -70,27 +103,60 @@ Pipeline::willSerialize(const Inst &inst) const
     }
 }
 
+unsigned
+Pipeline::issueCountAt(std::uint64_t t) const
+{
+    const IssueSlot &s = issueRing_[t & issueMask_];
+    return s.cycle == t ? s.count : 0;
+}
+
+void
+Pipeline::issueBump(std::uint64_t t)
+{
+    if (t - cycle >= issueRing_.size())
+        growIssueRing(t);
+    IssueSlot &s = issueRing_[t & issueMask_];
+    if (s.cycle == t) {
+        ++s.count;
+    } else {
+        s.cycle = t;
+        s.count = 1;
+    }
+}
+
+void
+Pipeline::growIssueRing(std::uint64_t t)
+{
+    std::size_t size = issueRing_.size();
+    while (t - cycle >= size)
+        size *= 2;
+    std::vector<IssueSlot> grown(size);
+    for (const IssueSlot &s : issueRing_) {
+        if (s.count != 0 && s.cycle != ~0ull && s.cycle > cycle)
+            grown[s.cycle & (size - 1)] = s; // still-live slot
+    }
+    issueRing_ = std::move(grown);
+    issueMask_ = size - 1;
+}
+
 std::uint64_t
-Pipeline::allocateIssue(std::uint64_t earliest, const Inst &inst,
+Pipeline::allocateIssue(std::uint64_t earliest, const MicroOp &uop,
                         unsigned *unit_latency)
 {
     std::vector<std::uint64_t> *units = &aluFree;
     unsigned latency = config_.aluLatency;
     std::uint64_t occupancy = 1; // fully pipelined by default
-    switch (inst.op) {
-      case Opcode::Mul:
+    switch (uop.unit) {
+      case MicroOp::kUnitMul:
         units = &mulFree;
         latency = config_.mulLatency;
         break;
-      case Opcode::Div:
+      case MicroOp::kUnitDiv:
         units = &mulFree;
         latency = config_.divLatency;
         occupancy = config_.divLatency; // unpipelined divider
         break;
-      case Opcode::Load:
-      case Opcode::Store:
-      case Opcode::HmovLoad:
-      case Opcode::HmovStore:
+      case MicroOp::kUnitMem:
         units = &memFree;
         latency = 1; // AGU cycle; cache latency added by the caller
         break;
@@ -101,8 +167,7 @@ Pipeline::allocateIssue(std::uint64_t earliest, const Inst &inst,
     std::uint64_t t = earliest;
     while (true) {
         // Issue-width limit this cycle?
-        auto slot = issueSlots.find(t);
-        if (slot != issueSlots.end() && slot->second >= config_.issueWidth) {
+        if (issueCountAt(t) >= config_.issueWidth) {
             ++t;
             continue;
         }
@@ -120,10 +185,63 @@ Pipeline::allocateIssue(std::uint64_t earliest, const Inst &inst,
             continue;
         }
         *best = t + occupancy;
-        ++issueSlots[t];
+        issueBump(t);
         *unit_latency = latency;
         return t;
     }
+}
+
+void
+Pipeline::appendResolve(std::uint64_t at, std::uint32_t slot,
+                        std::uint64_t seq)
+{
+    if (at - cycle >= resolveBuckets_.size())
+        growResolveRing(at);
+    ResolveBucket &b = resolveBuckets_[at & resolveBucketMask_];
+    if (b.epoch != at) {
+        b.epoch = at;
+        b.refs.clear();
+    }
+    b.refs.push_back({seq, slot});
+}
+
+void
+Pipeline::growResolveRing(std::uint64_t at)
+{
+    std::size_t size = resolveBuckets_.size();
+    while (at - cycle >= size)
+        size *= 2;
+    std::vector<ResolveBucket> grown(size);
+    for (ResolveBucket &b : resolveBuckets_) {
+        if (b.epoch != ~0ull && b.epoch > cycle && !b.refs.empty())
+            grown[b.epoch & (size - 1)] = std::move(b);
+    }
+    resolveBuckets_ = std::move(grown);
+    resolveBucketMask_ = size - 1;
+}
+
+bool
+Pipeline::hasDueResolve() const
+{
+    const ResolveBucket &b = resolveBuckets_[cycle & resolveBucketMask_];
+    if (b.epoch != cycle)
+        return false;
+    for (const ResolveRef &r : b.refs) {
+        if (robSlotLive(r.slot) && rob_[r.slot].seq == r.seq &&
+            resolveAt_[r.slot] == cycle)
+            return true;
+    }
+    return false;
+}
+
+bool
+Pipeline::fetchCheckElidable()
+{
+    if (fetchCheckDirty_) {
+        fetchCheckUniform_ = fetchCoversProgram(specState.hfi, program);
+        fetchCheckDirty_ = false;
+    }
+    return fetchCheckUniform_;
 }
 
 void
@@ -132,13 +250,15 @@ Pipeline::fetchStage()
     if (fetchHalted || cycle < fetchStallUntil)
         return;
 
+    const MicroOp *uops = program.microOps();
     unsigned budget = config_.fetchBytes;
-    while (budget > 0 && decodeQueue.size() < config_.decodeQueueDepth) {
-        const Inst *inst = program.fetch(fetchPc, &fetchHint_);
-        if (!inst) {
+    while (budget > 0 && decodeCount_ < config_.decodeQueueDepth) {
+        const std::size_t index = program.fetchIndex(fetchPc, &fetchHint_);
+        if (index == Program::kNoInst) {
             fetchHalted = true;
             return;
         }
+        const Inst *inst = &program.instructions()[index];
         if (inst->length > budget)
             return;
 
@@ -148,27 +268,36 @@ Pipeline::fetchStage()
             return;
         }
         budget -= inst->length;
+        const MicroOp &uop = uops[index];
         // hmov's prefix is a length-changing prefix to the predecoder:
         // it costs extra predecode throughput (the Skylake LCP stall),
         // modeled as additional consumed fetch bytes.
-        if (inst->op == Opcode::HmovLoad || inst->op == Opcode::HmovStore)
+        if (uop.flags & MicroOp::kLcp)
             budget -= std::min<unsigned>(budget, 3);
 
         // Predict the next fetch address.
         std::uint64_t next = fetchPc + inst->length;
-        if (isConditionalBranch(inst->op)) {
+        switch (uop.ctrl) {
+          case MicroOp::kCtrlCond:
             if (predictor_.predictDirection(fetchPc))
                 next = inst->target;
-        } else if (inst->op == Opcode::Jmp) {
+            break;
+          case MicroOp::kCtrlJmp:
             next = inst->target;
-        } else if (inst->op == Opcode::Call) {
+            break;
+          case MicroOp::kCtrlCall:
             predictor_.pushReturn(fetchPc + inst->length);
             next = inst->target;
-        } else if (inst->op == Opcode::Ret) {
+            break;
+          case MicroOp::kCtrlRet:
             next = predictor_.popReturn(); // 0 = unpredictable
+            break;
+          default:
+            break;
         }
 
-        decodeQueue.push_back({inst, fetchPc, next});
+        decodeAt(decodeCount_++) = {inst, static_cast<std::uint32_t>(index),
+                                    fetchPc, next};
         ++stats_.fetched;
         fetchPc = next;
         if (next == 0) {
@@ -183,102 +312,70 @@ Pipeline::fetchStage()
 void
 Pipeline::dispatchStage()
 {
+    const MicroOp *uops = program.microOps();
     unsigned budget = config_.decodeWidth;
-    while (budget > 0 && !decodeQueue.empty() && !serializePending &&
-           rob.size() < config_.robSize) {
-        const FetchedInst f = decodeQueue.front();
+    while (budget > 0 && decodeCount_ != 0 && !serializePending &&
+           robCount_ < config_.robSize) {
+        const FetchedInst f = decodeAt(0);
         const Inst &inst = *f.inst;
+        const MicroOp &uop = uops[f.index];
 
         // Decode-stage code-region check (§4.1): out-of-region
         // instructions become faulting NOPs and never execute,
-        // speculatively or otherwise.
-        const core::CheckResult fetch_check =
-            core::AccessChecker::checkFetch(specState.hfi, f.pc);
-        if (!fetch_check.ok) {
-            RobEntry e;
-            e.inst = f.inst;
-            e.pc = f.pc;
-            e.seq = seqCounter++;
-            e.predictedNext = f.predictedNext;
-            e.info.faulted = true;
-            e.info.faultReason = fetch_check.reason;
-            e.info.nextPc = f.pc;
-            e.completeCycle = cycle + 1;
-            rob.push_back(e);
-            decodeQueue.pop_front();
-            --budget;
-            ++stats_.dispatched;
-            continue;
+        // speculatively or otherwise. While the current bank provably
+        // passes the check for every program address, the per-
+        // instruction check is elided (same predicate the functional
+        // core's interpreter uses).
+        if (!fetchCheckElidable()) {
+            const core::CheckResult fetch_check =
+                core::AccessChecker::checkFetch(specState.hfi, f.pc);
+            if (!fetch_check.ok) {
+                const std::size_t slot = robSlot(robCount_);
+                RobEntry &e = rob_[slot];
+                e = RobEntry{};
+                e.inst = f.inst;
+                e.pc = f.pc;
+                e.seq = seqCounter++;
+                e.predictedNext = f.predictedNext;
+                e.info.faulted = true;
+                e.info.faultReason = fetch_check.reason;
+                e.info.nextPc = f.pc;
+                e.completeCycle = cycle + 1;
+                resolveAt_[slot] = e.completeCycle;
+                appendResolve(e.completeCycle,
+                              static_cast<std::uint32_t>(slot), e.seq);
+                ++robCount_;
+                popDecodeFront();
+                --budget;
+                ++stats_.dispatched;
+                continue;
+            }
         }
 
-        if (willSerialize(inst) && !rob.empty())
+        if (willSerialize(inst) && robCount_ != 0)
             break; // drain before a serializing instruction
 
-        const bool is_load =
-            inst.op == Opcode::Load || inst.op == Opcode::HmovLoad;
-        const bool is_store =
-            inst.op == Opcode::Store || inst.op == Opcode::HmovStore;
+        const bool is_load = (uop.flags & MicroOp::kIsLoad) != 0;
+        const bool is_store = (uop.flags & MicroOp::kIsStore) != 0;
         if (is_load && loadsInFlight >= config_.lqSize)
             break;
-        if (is_store && storeQueue.size() >= config_.sqSize)
+        if (is_store && storeCount_ >= config_.sqSize)
             break;
 
         // Poison gating (§4.1): if any input register descends from a
         // faulted access, this instruction will never actually issue,
         // so its side effects (cache fills in particular) must not
         // happen and its destination stays poisoned.
-        bool inputs_poisoned = false;
-        {
-            auto tainted = [&](unsigned reg) {
-                inputs_poisoned = inputs_poisoned || poisoned[reg];
-            };
-            switch (inst.op) {
-              case Opcode::Movi:
-                break;
-              case Opcode::Ret:
-                tainted(kLinkReg);
-                break;
-              case Opcode::HmovLoad:
-              case Opcode::HmovStore:
-                if (inst.useIndex)
-                    tainted(inst.rb);
-                if (inst.op == Opcode::HmovStore)
-                    tainted(inst.rd);
-                break;
-              case Opcode::Load:
-              case Opcode::Store:
-                tainted(inst.ra);
-                if (inst.useIndex)
-                    tainted(inst.rb);
-                if (inst.op == Opcode::Store)
-                    tainted(inst.rd);
-                break;
-              default:
-                tainted(inst.ra);
-                if (!inst.useImm)
-                    tainted(inst.rb);
-                break;
-            }
-        }
+        const bool inputs_poisoned = (poisonMask_ & uop.taintMask) != 0;
 
         const std::uint64_t seq = seqCounter++;
         SpecMemView view(*this, seq);
         const ExecInfo info =
-            FunctionalCore::execute(inst, f.pc, specState, view);
-#ifdef HFI_SIM_DEBUG_DCACHE
-        if (inst.op == Opcode::HfiExit || inst.op == Opcode::HfiEnter ||
-            (isMemory(inst.op) && info.memAddr >= 0x300000 &&
-             info.memAddr < 0x301000)) {
-            std::fprintf(stderr,
-                         "dispatch %s pc=%#lx seq=%lu cycle=%lu hfi=%d "
-                         "addr=%#lx faulted=%d\n",
-                         opcodeName(inst.op), f.pc, seq, cycle,
-                         (int)specState.hfi.enabled, info.memAddr,
-                         (int)info.faulted);
-        }
-#endif
+            FunctionalCore::executeOn(inst, f.pc, specState, view);
 
-        RobEntry e;
+        const std::size_t slot = robSlot(robCount_);
+        RobEntry &e = rob_[slot];
+        e = RobEntry{};
         e.inst = f.inst;
         e.pc = f.pc;
         e.seq = seq;
@@ -286,52 +383,20 @@ Pipeline::dispatchStage()
         e.info = info;
         e.isLoad = is_load;
         e.isStore = is_store;
+        e.condBranch = uop.ctrl == MicroOp::kCtrlCond;
         if (is_load)
             ++loadsInFlight;
 
-        // Source-operand readiness.
+        // Source-operand readiness from the µop's scheduling mask.
         std::uint64_t src_ready = cycle + 1;
-        auto need = [&](unsigned reg) {
+        for (unsigned m = uop.readyMask; m != 0; m &= m - 1) {
+            const unsigned reg = static_cast<unsigned>(std::countr_zero(m));
             src_ready = std::max(src_ready, regReadyAt[reg]);
-        };
-        switch (inst.op) {
-          case Opcode::Movi:
-            break;
-          case Opcode::Ret:
-            need(kLinkReg);
-            break;
-          case Opcode::HfiEnter:
-            need(kExitHandlerReg);
-            break;
-          case Opcode::HmovLoad:
-          case Opcode::HmovStore:
-            if (inst.useIndex)
-                need(inst.rb);
-            if (inst.op == Opcode::HmovStore)
-                need(inst.rd);
-            break;
-          case Opcode::Load:
-          case Opcode::Store:
-            need(inst.ra);
-            if (inst.useIndex)
-                need(inst.rb);
-            if (inst.op == Opcode::Store)
-                need(inst.rd);
-            break;
-          case Opcode::HfiSetRegion:
-            need(inst.ra);
-            need(inst.rb);
-            break;
-          default:
-            need(inst.ra);
-            if (!inst.useImm)
-                need(inst.rb);
-            break;
         }
 
         unsigned unit_latency = 1;
         const std::uint64_t issue_at =
-            allocateIssue(src_ready, inst, &unit_latency);
+            allocateIssue(src_ready, uop, &unit_latency);
         std::uint64_t latency = unit_latency;
 
         if (info.isMem && !info.faulted && !inputs_poisoned) {
@@ -341,14 +406,6 @@ Pipeline::dispatchStage()
             const TlbAccess t = dtb_.access(info.memAddr);
             if (is_load) {
                 const CacheAccess c = dcache_.access(info.memAddr);
-#ifdef HFI_SIM_DEBUG_DCACHE
-                if (info.memAddr >= 0x200000 && info.memAddr < 0x220000) {
-                    std::fprintf(stderr,
-                                 "dcache load pc=%#lx seq=%lu addr=%#lx hfi=%d\n",
-                                 e.pc, e.seq, info.memAddr,
-                                 (int)specState.hfi.enabled);
-                }
-#endif
                 latency = t.latency + c.latency;
             } else {
                 latency = std::max(1u, t.latency);
@@ -373,9 +430,8 @@ Pipeline::dispatchStage()
         // memory µop — an extra issue slot and a periodic replay cycle.
         // hmov does not pay this: the region base comes from the region
         // register at register-read (§4.2).
-        if ((inst.op == Opcode::Load || inst.op == Opcode::Store) &&
-            inst.useIndex && (inst.imm > 0x7fff || inst.imm < -0x8000)) {
-            ++issueSlots[issue_at]; // the companion AGU µop's slot
+        if (uop.flags & MicroOp::kUnlaminated) {
+            issueBump(issue_at); // the companion AGU µop's slot
             latency += (seq & 3) == 0 ? 1 : 0; // periodic replay cycle
         }
 
@@ -392,25 +448,18 @@ Pipeline::dispatchStage()
         e.completeCycle = issue_at + std::max<std::uint64_t>(latency, 1);
 
         // Destination readiness.
-        const bool writes_rd =
-            !info.faulted &&
-            (inst.op == Opcode::Load || inst.op == Opcode::HmovLoad ||
-             (!is_store && !isControl(inst.op) && inst.op != Opcode::Nop &&
-              inst.op != Opcode::Halt && inst.op != Opcode::Syscall &&
-              inst.op != Opcode::HfiEnter && inst.op != Opcode::HfiExit &&
-              inst.op != Opcode::HfiSetRegion &&
-              inst.op != Opcode::HfiClearRegion));
-        if (writes_rd) {
+        if (!info.faulted && (uop.flags & MicroOp::kWritesRd)) {
             regReadyAt[inst.rd] = e.completeCycle;
             // Poison propagates through dataflow; a clean producer
             // clears it.
-            poisoned[inst.rd] = inputs_poisoned;
+            if (inputs_poisoned)
+                poisonMask_ |= static_cast<std::uint16_t>(1u << inst.rd);
+            else
+                poisonMask_ &= static_cast<std::uint16_t>(~(1u << inst.rd));
         }
-        if ((inst.op == Opcode::Load || inst.op == Opcode::HmovLoad) &&
-            info.faulted) {
-            poisoned[inst.rd] = true;
-        }
-        if (inst.op == Opcode::Call)
+        if (is_load && info.faulted)
+            poisonMask_ |= static_cast<std::uint16_t>(1u << inst.rd);
+        if (uop.ctrl == MicroOp::kCtrlCall)
             regReadyAt[kLinkReg] = e.completeCycle;
         if (inst.op == Opcode::Cpuid) {
             regReadyAt[12] = e.completeCycle;
@@ -418,21 +467,31 @@ Pipeline::dispatchStage()
         }
 
         e.mispredicted = !info.faulted && info.nextPc != f.predictedNext;
-        if (isControl(inst.op) || info.isSyscall || e.mispredicted ||
-            f.predictedNext == 0) {
-            e.hasSnapshot = true;
-            e.snapshot = specState;
-            e.regReadySnapshot = regReadyAt;
-            e.poisonSnapshot = poisoned;
+        if (e.mispredicted) {
+            // Only mispredicts are ever restored from, so only they pay
+            // the (ArchState-sized) snapshot copy.
+            Snapshot &s = snapshots_[slot];
+            s.state = specState;
+            s.regReady = regReadyAt;
+            s.poison = poisonMask_;
         }
 
-        rob.push_back(e);
-        decodeQueue.pop_front();
+        resolveAt_[slot] = e.completeCycle;
+        appendResolve(e.completeCycle, static_cast<std::uint32_t>(slot),
+                      seq);
+        ++robCount_;
+        popDecodeFront();
+
+        // Execution may have changed the HFI bank: re-prove the
+        // fetch-check elision before the next decode-stage check.
+        if (uop.flags & MicroOp::kBankOp)
+            fetchCheckDirty_ = true;
+
         // hmov's prefix byte behaves like a length-changing prefix in
         // the predecoder: it occupies an extra decode slot (the Skylake
         // LCP effect) — the µ-architectural cost behind §6.1's gobmk
         // observation, and one the compiler emulation cannot mimic.
-        if (inst.op == Opcode::HmovLoad || inst.op == Opcode::HmovStore)
+        if (uop.flags & MicroOp::kLcp)
             budget -= budget > 1 ? 1 : 0;
         --budget;
         ++stats_.dispatched;
@@ -442,18 +501,18 @@ Pipeline::dispatchStage()
 void
 Pipeline::squashAfter(std::size_t rob_index)
 {
-    const std::uint64_t boundary_seq = rob[rob_index].seq;
-    for (std::size_t i = rob_index + 1; i < rob.size(); ++i) {
+    const std::uint64_t boundary_seq = robAt(rob_index).seq;
+    for (std::size_t i = rob_index + 1; i < robCount_; ++i) {
+        const RobEntry &e = robAt(i);
         ++stats_.squashed;
-        if (rob[i].info.faulted)
+        if (e.info.faulted)
             ++stats_.hfiFaultsSuppressed;
-        if (rob[i].isLoad)
+        if (e.isLoad)
             --loadsInFlight;
     }
-    rob.erase(rob.begin() + static_cast<std::ptrdiff_t>(rob_index) + 1,
-              rob.end());
-    while (!storeQueue.empty() && storeQueue.back().seq > boundary_seq)
-        storeQueue.pop_back();
+    robCount_ = rob_index + 1;
+    while (storeCount_ != 0 && storeAt(storeCount_ - 1).seq > boundary_seq)
+        --storeCount_;
     if (serializePending && serializeSeq > boundary_seq)
         serializePending = false;
 }
@@ -461,24 +520,39 @@ Pipeline::squashAfter(std::size_t rob_index)
 void
 Pipeline::resolveStage()
 {
-    for (std::size_t i = 0; i < rob.size(); ++i) {
-        RobEntry &e = rob[i];
-        if (e.resolved || e.completeCycle > cycle)
-            continue;
+    // Drain this cycle's calendar bucket. Its live refs are exactly the
+    // unresolved entries completing now (earlier buckets were drained
+    // at their own cycles, or their stragglers squashed by the
+    // mispredict that cut those drains short), in program order — the
+    // order the full ROB scan used to visit them in.
+    ResolveBucket &b = resolveBuckets_[cycle & resolveBucketMask_];
+    if (b.epoch != cycle)
+        return;
+    for (std::size_t n = 0; n < b.refs.size(); ++n) {
+        const ResolveRef r = b.refs[n];
+        const std::size_t index = (r.slot - robHead_) & robMask_;
+        if (index >= robCount_ || rob_[r.slot].seq != r.seq ||
+            resolveAt_[r.slot] != cycle)
+            continue; // filed, then squashed (slot possibly reused)
+        RobEntry &e = rob_[r.slot];
         e.resolved = true;
+        resolveAt_[r.slot] = UINT64_MAX;
 
-        if (e.inst && isConditionalBranch(e.inst->op) && !e.info.faulted)
+        if (e.condBranch && !e.info.faulted)
             predictor_.updateDirection(e.pc, e.info.branchTaken);
 
         if (e.mispredicted) {
             ++stats_.mispredicts;
             predictor_.countMispredict();
             // Recover state and redirect fetch down the correct path.
-            specState = e.snapshot;
-            regReadyAt = e.regReadySnapshot;
-            poisoned = e.poisonSnapshot;
-            squashAfter(i);
-            decodeQueue.clear();
+            const Snapshot &s = snapshots_[r.slot];
+            specState = s.state;
+            regReadyAt = s.regReady;
+            poisonMask_ = s.poison;
+            fetchCheckDirty_ = true;
+            squashAfter(index);
+            decodeHead_ = 0;
+            decodeCount_ = 0;
             fetchPc = e.info.nextPc;
             fetchStallUntil = cycle + config_.redirectPenalty;
             fetchHalted = false;
@@ -491,8 +565,8 @@ void
 Pipeline::commitStage(PipelineResult &result, bool *done)
 {
     unsigned budget = config_.commitWidth;
-    while (budget > 0 && !rob.empty()) {
-        RobEntry &e = rob.front();
+    while (budget > 0 && robCount_ != 0) {
+        RobEntry &e = robAt(0);
         if (e.completeCycle >= cycle || !e.resolved)
             break;
 
@@ -504,12 +578,12 @@ Pipeline::commitStage(PipelineResult &result, bool *done)
             return;
         }
 
-        if (e.isStore && !storeQueue.empty() &&
-            storeQueue.front().seq == e.seq) {
-            const StoreEntry &s = storeQueue.front();
+        if (e.isStore && storeCount_ != 0 && storeAt(0).seq == e.seq) {
+            const StoreEntry &s = storeAt(0);
             mem.write(s.addr, s.value, s.width);
             dcache_.access(s.addr); // write-allocate at commit
-            storeQueue.erase(storeQueue.begin());
+            storeHead_ = (storeHead_ + 1) & storeMask_;
+            --storeCount_;
         }
         if (e.isLoad)
             --loadsInFlight;
@@ -518,7 +592,8 @@ Pipeline::commitStage(PipelineResult &result, bool *done)
             serializePending = false;
 
         const bool halted = e.info.halted;
-        rob.pop_front();
+        robHead_ = (robHead_ + 1) & robMask_;
+        --robCount_;
         ++stats_.committed;
         --budget;
 
@@ -530,17 +605,93 @@ Pipeline::commitStage(PipelineResult &result, bool *done)
     }
 }
 
+bool
+Pipeline::quietCycle()
+{
+    // Commit would retire the front entry?
+    if (robCount_ != 0) {
+        const RobEntry &front = robAt(0);
+        if (front.resolved && front.completeCycle < cycle)
+            return false;
+    }
+    // The resolve stage would resolve something?
+    if (hasDueResolve())
+        return false;
+    // Dispatch would move the decode-queue head?
+    if (decodeCount_ != 0 && !serializePending &&
+        robCount_ < config_.robSize) {
+        if (!fetchCheckElidable())
+            return false; // per-address check mode: treat as active
+        const FetchedInst &f = decodeAt(0);
+        const MicroOp &uop = program.microOps()[f.index];
+        const bool blocked =
+            (willSerialize(*f.inst) && robCount_ != 0) ||
+            ((uop.flags & MicroOp::kIsLoad) != 0 &&
+             loadsInFlight >= config_.lqSize) ||
+            ((uop.flags & MicroOp::kIsStore) != 0 &&
+             storeCount_ >= config_.sqSize);
+        if (!blocked)
+            return false;
+    }
+    // Fetch would deliver bytes?
+    if (!fetchHalted && cycle >= fetchStallUntil &&
+        decodeCount_ < config_.decodeQueueDepth)
+        return false;
+    return true;
+}
+
+std::uint64_t
+Pipeline::nextEventCycle() const
+{
+    // In a quiet cycle, dispatch is blocked on ROB-side resources
+    // (serialize drain, full ROB/LQ/SQ) and fetch on the stall timer or
+    // a full decode queue — every unblocking transition is driven by a
+    // commit or a resolution, so the ROB events plus the stall expiry
+    // cover all wake-ups.
+    std::uint64_t next = UINT64_MAX;
+    if (robCount_ != 0) {
+        const RobEntry &front = robAt(0);
+        if (front.resolved)
+            next = std::min(next, front.completeCycle + 1); // commit-eligible
+        for (std::size_t i = 0; i < robCount_; ++i)
+            next = std::min(next, resolveAt_[robSlot(i)]); // next resolution
+    }
+    if (!fetchHalted && fetchStallUntil > cycle &&
+        decodeCount_ < config_.decodeQueueDepth)
+        next = std::min(next, fetchStallUntil);
+    return next;
+}
+
+template <bool EventDriven>
 PipelineResult
-Pipeline::run(std::uint64_t max_cycles)
+Pipeline::runLoop(std::uint64_t max_cycles)
 {
     PipelineResult result;
     specState = archState;
     fetchPc = archState.pc;
     fetchHalted = false;
     fetchStallUntil = 0;
+    fetchCheckDirty_ = true;
 
     bool done = false;
     while (!done && cycle < max_cycles) {
+        if constexpr (EventDriven) {
+            if (quietCycle()) {
+                const std::uint64_t next = nextEventCycle();
+                if (next == UINT64_MAX) {
+                    // Frozen machine (fetch halted, nothing in flight):
+                    // the reference loop ticks exactly once more, then
+                    // takes the ran-off-the-end break below.
+                    ++cycle;
+                    break;
+                }
+                // Every skipped cycle is a proven no-op for all four
+                // stages; land exactly on the next active one (clamped
+                // so a distant event still honours max_cycles).
+                cycle = std::min(next, max_cycles);
+                continue;
+            }
+        }
         commitStage(result, &done);
         if (done)
             break;
@@ -549,17 +700,7 @@ Pipeline::run(std::uint64_t max_cycles)
         fetchStage();
         ++cycle;
 
-        // Keep the issue-slot map from growing without bound.
-        if ((cycle & 0xfff) == 0) {
-            for (auto it = issueSlots.begin(); it != issueSlots.end();) {
-                if (it->first + 8192 < cycle)
-                    it = issueSlots.erase(it);
-                else
-                    ++it;
-            }
-        }
-
-        if (fetchHalted && decodeQueue.empty() && rob.empty())
+        if (fetchHalted && decodeCount_ == 0 && robCount_ == 0)
             break; // ran off the end of the program
     }
 
@@ -567,6 +708,18 @@ Pipeline::run(std::uint64_t max_cycles)
     result.instructions = stats_.committed;
     archState = specState;
     return result;
+}
+
+PipelineResult
+Pipeline::run(std::uint64_t max_cycles)
+{
+    return runLoop<true>(max_cycles);
+}
+
+PipelineResult
+Pipeline::runReference(std::uint64_t max_cycles)
+{
+    return runLoop<false>(max_cycles);
 }
 
 } // namespace hfi::sim

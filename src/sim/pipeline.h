@@ -27,13 +27,19 @@
  *  - Serializing instructions (cpuid, serialized hfi_enter/hfi_exit,
  *    region updates inside a hybrid sandbox) drain the ROB before
  *    dispatch and add a flush cost — §3.4's 30-60-cycle price.
+ *
+ * Two run loops share the stage functions: runReference() ticks every
+ * cycle literally, run() skips provably idle cycles by advancing the
+ * clock to the next event (earliest completion, commit eligibility, or
+ * fetch-stall expiry). The two are cycle-for-cycle identical — the
+ * parity tests cross-validate them over the whole kernel suite.
  */
 
 #ifndef HFI_SIM_PIPELINE_H
 #define HFI_SIM_PIPELINE_H
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "sim/branch_predictor.h"
@@ -82,8 +88,20 @@ class Pipeline
 
     SimMemory &memory() { return mem; }
 
-    /** Run until Halt, a committed fault, or @p max_cycles. */
+    /**
+     * Run until Halt, a committed fault, or @p max_cycles.
+     *
+     * Event-driven: cycles in which no stage can act are skipped by
+     * advancing the clock straight to the next event. Cycle-for-cycle
+     * identical to runReference().
+     */
     PipelineResult run(std::uint64_t max_cycles = 1'000'000'000);
+
+    /**
+     * The literal one-tick-per-cycle loop over the same stage
+     * functions — the timing reference run() is validated against.
+     */
+    PipelineResult runReference(std::uint64_t max_cycles = 1'000'000'000);
 
     Cache &dcache() { return dcache_; }
     Cache &icache() { return icache_; }
@@ -95,33 +113,51 @@ class Pipeline
   private:
     struct StoreEntry
     {
-        std::uint64_t seq;
-        std::uint64_t addr;
-        std::uint64_t value;
-        std::uint8_t width;
+        std::uint64_t seq = 0;
+        std::uint64_t addr = 0;
+        std::uint64_t value = 0;
+        std::uint8_t width = 0;
     };
 
+    /**
+     * One in-flight instruction. Recovery snapshots live out-of-line in
+     * `snapshots_`, indexed by ROB slot: inlining the two HFI register
+     * banks here made every entry ~1.7 KB, and the per-cycle resolve
+     * scan a walk over hundreds of KB.
+     */
     struct RobEntry
     {
         const Inst *inst = nullptr;
         std::uint64_t pc = 0;
         std::uint64_t seq = 0;
         std::uint64_t predictedNext = 0;
+        std::uint64_t completeCycle = 0;
         ExecInfo info{};
         bool mispredicted = false;
         bool resolved = false;
         bool isLoad = false;
         bool isStore = false;
-        std::uint64_t completeCycle = 0;
-        /** Recovery snapshots, kept only on redirect-capable entries. */
-        bool hasSnapshot = false;
-        ArchState snapshot{};
-        std::array<std::uint64_t, kNumRegs> regReadySnapshot{};
-        std::array<bool, kNumRegs> poisonSnapshot{};
+        bool condBranch = false;
     };
 
-    /** MemView that buffers stores in the store queue. */
-    class SpecMemView : public MemView
+    /**
+     * Redirect-recovery state, one slot per ROB slot. Only written for
+     * mispredicted entries — the resolve stage restores exclusively at
+     * a mispredict, so other entries' snapshots would never be read.
+     */
+    struct Snapshot
+    {
+        ArchState state{};
+        std::array<std::uint64_t, kNumRegs> regReady{};
+        std::uint16_t poison = 0;
+    };
+
+    /**
+     * Memory view that buffers stores in the store queue. Non-virtual:
+     * dispatch instantiates FunctionalCore::executeOn<SpecMemView>
+     * directly, so the whole instruction dispatch inlines.
+     */
+    class SpecMemView
     {
       public:
         SpecMemView(Pipeline &pipe, std::uint64_t seq)
@@ -129,9 +165,8 @@ class Pipeline
         {
         }
 
-        std::uint64_t load(std::uint64_t addr, unsigned width) override;
-        void store(std::uint64_t addr, std::uint64_t value,
-                   unsigned width) override;
+        std::uint64_t load(std::uint64_t addr, unsigned width);
+        void store(std::uint64_t addr, std::uint64_t value, unsigned width);
 
       private:
         Pipeline &pipe;
@@ -140,9 +175,35 @@ class Pipeline
 
     struct FetchedInst
     {
-        const Inst *inst;
-        std::uint64_t pc;
-        std::uint64_t predictedNext;
+        const Inst *inst = nullptr;
+        std::uint32_t index = 0; ///< instruction index (µop table key)
+        std::uint64_t pc = 0;
+        std::uint64_t predictedNext = 0;
+    };
+
+    /** One slot of the cycle-indexed issue-counter ring. */
+    struct IssueSlot
+    {
+        std::uint64_t cycle = ~0ull;
+        unsigned count = 0;
+    };
+
+    /** Reference to an in-flight entry awaiting resolution. */
+    struct ResolveRef
+    {
+        std::uint64_t seq = 0;  ///< disambiguates a reused ROB slot
+        std::uint32_t slot = 0; ///< physical ROB slot
+    };
+
+    /**
+     * One slot of the completion-cycle calendar. A bucket is live iff
+     * its epoch equals the probed cycle; append resets a stale bucket,
+     * so vectors are recycled across ring wraps without deallocating.
+     */
+    struct ResolveBucket
+    {
+        std::uint64_t epoch = ~0ull;
+        std::vector<ResolveRef> refs;
     };
 
     void commitStage(PipelineResult &result, bool *done);
@@ -150,14 +211,75 @@ class Pipeline
     void dispatchStage();
     void fetchStage();
 
+    template <bool EventDriven>
+    PipelineResult runLoop(std::uint64_t max_cycles);
+
+    /** True when no stage can change any modeled state this cycle. */
+    bool quietCycle();
+
+    /** Next cycle at which some stage becomes able to act, UINT64_MAX
+     *  when the machine is permanently idle. Valid only when quiet. */
+    std::uint64_t nextEventCycle() const;
+
     /** Would dispatching @p inst under @p state serialize? */
     bool willSerialize(const Inst &inst) const;
 
-    /** Earliest issue cycle respecting slots + a unit of @p kind. */
-    std::uint64_t allocateIssue(std::uint64_t earliest, const Inst &inst,
+    /** Earliest issue cycle respecting slots + a unit of @p uop's kind. */
+    std::uint64_t allocateIssue(std::uint64_t earliest, const MicroOp &uop,
                                 unsigned *unit_latency);
+    unsigned issueCountAt(std::uint64_t t) const;
+    void issueBump(std::uint64_t t);
+    void growIssueRing(std::uint64_t t);
 
     void squashAfter(std::size_t rob_index);
+
+    /** File @p slot (holding @p seq) for resolution at cycle @p at. */
+    void appendResolve(std::uint64_t at, std::uint32_t slot,
+                       std::uint64_t seq);
+    void growResolveRing(std::uint64_t at);
+
+    /** True iff this cycle's calendar bucket holds a live entry. */
+    bool hasDueResolve() const;
+
+    /** Is physical ROB slot @p slot currently occupied? */
+    bool robSlotLive(std::size_t slot) const
+    {
+        return ((slot - robHead_) & robMask_) < robCount_;
+    }
+
+    /** Cached fetchCoversProgram verdict (recomputed when dirty). */
+    bool fetchCheckElidable();
+
+    // Ring-buffer accessors: logical position i -> physical slot.
+    // Capacities are powers of two >= the configured depths; occupancy
+    // is tracked by explicit counts, so full == capacity is fine.
+    std::size_t robSlot(std::size_t i) const
+    {
+        return (robHead_ + i) & robMask_;
+    }
+    RobEntry &robAt(std::size_t i) { return rob_[robSlot(i)]; }
+    const RobEntry &robAt(std::size_t i) const { return rob_[robSlot(i)]; }
+    StoreEntry &storeAt(std::size_t i)
+    {
+        return stores_[(storeHead_ + i) & storeMask_];
+    }
+    const StoreEntry &storeAt(std::size_t i) const
+    {
+        return stores_[(storeHead_ + i) & storeMask_];
+    }
+    FetchedInst &decodeAt(std::size_t i)
+    {
+        return decode_[(decodeHead_ + i) & decodeMask_];
+    }
+    const FetchedInst &decodeAt(std::size_t i) const
+    {
+        return decode_[(decodeHead_ + i) & decodeMask_];
+    }
+    void popDecodeFront()
+    {
+        decodeHead_ = (decodeHead_ + 1) & decodeMask_;
+        --decodeCount_;
+    }
 
     Program program;
     CpuConfig config_;
@@ -172,27 +294,74 @@ class Pipeline
     Tlb dtb_;
     BranchPredictor predictor_;
 
-    std::deque<FetchedInst> decodeQueue;
-    std::deque<RobEntry> rob;
-    std::vector<StoreEntry> storeQueue; ///< uncommitted stores, seq order
+    // Fixed ring buffers (replacing std::deque/std::vector churn).
+    std::vector<FetchedInst> decode_;
+    std::size_t decodeHead_ = 0;
+    std::size_t decodeCount_ = 0;
+    std::size_t decodeMask_ = 0;
+
+    std::vector<RobEntry> rob_;
+    std::vector<Snapshot> snapshots_; ///< parallel to rob_ slots
+    /**
+     * Per-ROB-slot completion cycle while unresolved, UINT64_MAX once
+     * resolved. Validates calendar refs and feeds nextEventCycle().
+     */
+    std::vector<std::uint64_t> resolveAt_;
+    std::size_t robHead_ = 0;
+    std::size_t robCount_ = 0;
+    std::size_t robMask_ = 0;
+
+    std::vector<StoreEntry> stores_; ///< uncommitted stores, seq order
+    std::size_t storeHead_ = 0;
+    std::size_t storeCount_ = 0;
+    std::size_t storeMask_ = 0;
+
     unsigned loadsInFlight = 0;
 
     std::array<std::uint64_t, kNumRegs> regReadyAt{};
     /**
-     * Poison bits: set when a register's producer was an HFI-faulting
-     * access (the faulting NOP of §4.1). Dependent memory operations
-     * are denied their cache access — no secret-derived address ever
-     * reaches the dcache, which is the no-propagation invariant the
-     * Spectre tests assert.
+     * Poison bits (one per register): set when a register's producer
+     * was an HFI-faulting access (the faulting NOP of §4.1). Dependent
+     * memory operations are denied their cache access — no
+     * secret-derived address ever reaches the dcache, which is the
+     * no-propagation invariant the Spectre tests assert.
      */
-    std::array<bool, kNumRegs> poisoned{};
+    std::uint16_t poisonMask_ = 0;
+
     std::vector<std::uint64_t> aluFree, mulFree, memFree;
-    std::unordered_map<std::uint64_t, unsigned> issueSlots;
+    /**
+     * Cycle-indexed ring of issue counters (replaces the old
+     * unordered_map + periodic GC sweep). A slot is live iff its stored
+     * cycle matches the probed one; stale slots read as zero. Live
+     * cycles all lie in (cycle, cycle + ring size) — issueBump grows
+     * the ring if a bump would land outside that window — so two live
+     * cycles can never alias.
+     */
+    std::vector<IssueSlot> issueRing_;
+    std::uint64_t issueMask_ = 0;
+
+    /**
+     * Calendar queue over completion cycles: dispatch files each entry
+     * in the bucket of its completion cycle, and the resolve stage
+     * drains exactly the current cycle's bucket instead of scanning the
+     * whole ROB. Entries squashed after filing are skipped lazily (the
+     * seq + occupancy check in resolveStage). Bucket order is dispatch
+     * order, i.e. program order — the same order the full ROB scan
+     * visited due entries in.
+     */
+    std::vector<ResolveBucket> resolveBuckets_;
+    std::uint64_t resolveBucketMask_ = 0;
+
+    /** Cached fetchCoversProgram verdict + its dirty bit (set after any
+     *  dispatch that can touch the bank, recovery, and run start). */
+    bool fetchCheckUniform_ = false;
+    bool fetchCheckDirty_ = true;
 
     std::uint64_t cycle = 0;
     std::uint64_t seqCounter = 0;
     std::uint64_t fetchPc = 0;
-    /** Sequential hint for Program::fetch; self-corrects on redirects. */
+    /** Sequential hint for Program::fetchIndex; self-corrects on
+     *  redirects. */
     std::size_t fetchHint_ = 0;
     std::uint64_t fetchStallUntil = 0;
     bool fetchHalted = false;

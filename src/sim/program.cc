@@ -5,6 +5,143 @@
 namespace hfi::sim
 {
 
+namespace
+{
+
+/**
+ * Predecode the static per-instruction facts the pipeline's dispatch
+ * and fetch stages need. The masks replicate, register for register,
+ * the per-opcode switches dispatch used to run per dynamic instance —
+ * an OR over mask bits is exactly the old max/OR over the same
+ * registers.
+ */
+MicroOp
+decodeMicroOp(const Inst &inst)
+{
+    MicroOp u;
+    const auto bit = [](unsigned reg) {
+        return static_cast<std::uint16_t>(1u << reg);
+    };
+
+    // Poison-propagation sources (§4.1).
+    switch (inst.op) {
+      case Opcode::Movi:
+        break;
+      case Opcode::Ret:
+        u.taintMask = bit(kLinkReg);
+        break;
+      case Opcode::HmovLoad:
+      case Opcode::HmovStore:
+        if (inst.useIndex)
+            u.taintMask |= bit(inst.rb);
+        if (inst.op == Opcode::HmovStore)
+            u.taintMask |= bit(inst.rd);
+        break;
+      case Opcode::Load:
+      case Opcode::Store:
+        u.taintMask |= bit(inst.ra);
+        if (inst.useIndex)
+            u.taintMask |= bit(inst.rb);
+        if (inst.op == Opcode::Store)
+            u.taintMask |= bit(inst.rd);
+        break;
+      default:
+        u.taintMask |= bit(inst.ra);
+        if (!inst.useImm)
+            u.taintMask |= bit(inst.rb);
+        break;
+    }
+
+    // Scheduling sources: identical, except hfi_enter waits on the
+    // exit-handler register and hfi_set_region on its descriptor pair.
+    switch (inst.op) {
+      case Opcode::HfiEnter:
+        u.readyMask = bit(kExitHandlerReg);
+        break;
+      case Opcode::HfiSetRegion:
+        u.readyMask = static_cast<std::uint16_t>(bit(inst.ra) | bit(inst.rb));
+        break;
+      default:
+        u.readyMask = u.taintMask;
+        break;
+    }
+
+    const bool is_load =
+        inst.op == Opcode::Load || inst.op == Opcode::HmovLoad;
+    const bool is_store =
+        inst.op == Opcode::Store || inst.op == Opcode::HmovStore;
+    if (is_load)
+        u.flags |= MicroOp::kIsLoad;
+    if (is_store)
+        u.flags |= MicroOp::kIsStore;
+    if (inst.op == Opcode::HmovLoad || inst.op == Opcode::HmovStore)
+        u.flags |= MicroOp::kLcp;
+    if ((inst.op == Opcode::Load || inst.op == Opcode::Store) &&
+        inst.useIndex && (inst.imm > 0x7fff || inst.imm < -0x8000))
+        u.flags |= MicroOp::kUnlaminated;
+    if (is_load ||
+        (!is_store && !isControl(inst.op) && inst.op != Opcode::Nop &&
+         inst.op != Opcode::Halt && inst.op != Opcode::Syscall &&
+         inst.op != Opcode::HfiEnter && inst.op != Opcode::HfiExit &&
+         inst.op != Opcode::HfiSetRegion &&
+         inst.op != Opcode::HfiClearRegion))
+        u.flags |= MicroOp::kWritesRd;
+    if (isControl(inst.op))
+        u.flags |= MicroOp::kIsControl;
+
+    switch (inst.op) {
+      case Opcode::HfiEnter:
+      case Opcode::HfiExit:
+      case Opcode::HfiSetRegion:
+      case Opcode::HfiClearRegion:
+      case Opcode::Syscall:
+        u.flags |= MicroOp::kBankOp;
+        break;
+      default:
+        break;
+    }
+
+    switch (inst.op) {
+      case Opcode::Mul:
+        u.unit = MicroOp::kUnitMul;
+        break;
+      case Opcode::Div:
+        u.unit = MicroOp::kUnitDiv;
+        break;
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::HmovLoad:
+      case Opcode::HmovStore:
+        u.unit = MicroOp::kUnitMem;
+        break;
+      default:
+        break;
+    }
+
+    switch (inst.op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        u.ctrl = MicroOp::kCtrlCond;
+        break;
+      case Opcode::Jmp:
+        u.ctrl = MicroOp::kCtrlJmp;
+        break;
+      case Opcode::Call:
+        u.ctrl = MicroOp::kCtrlCall;
+        break;
+      case Opcode::Ret:
+        u.ctrl = MicroOp::kCtrlRet;
+        break;
+      default:
+        break;
+    }
+    return u;
+}
+
+} // namespace
+
 Program::Program(std::uint64_t base, std::vector<Inst> instructions)
     : base_(base), insts(std::move(instructions))
 {
@@ -26,6 +163,10 @@ Program::Program(std::uint64_t base, std::vector<Inst> instructions)
         const std::size_t t = indexAt(insts[i].target);
         targetIdx[i] = t == kNoInst ? -1 : static_cast<std::int32_t>(t);
     }
+
+    uops.reserve(insts.size());
+    for (const Inst &inst : insts)
+        uops.push_back(decodeMicroOp(inst));
 }
 
 ProgramBuilder &

@@ -22,6 +22,56 @@
 namespace hfi::sim
 {
 
+/**
+ * Statically predecoded per-instruction facts for the timing pipeline,
+ * built once per program and indexed by the dense instruction index.
+ *
+ * The register masks encode exactly the source sets the pipeline's
+ * dispatch stage used to re-derive per dynamic instance with per-opcode
+ * switches: `readyMask` is the scheduling set (registers whose
+ * ready-cycle gates issue), `taintMask` the poison-propagation set
+ * (§4.1). They differ only for hfi_enter (waits on the exit-handler
+ * register) and hfi_set_region (waits on its descriptor pair).
+ */
+struct MicroOp
+{
+    enum : std::uint8_t
+    {
+        kIsLoad = 1u << 0,      ///< Load / HmovLoad
+        kIsStore = 1u << 1,     ///< Store / HmovStore
+        kLcp = 1u << 2,         ///< hmov's length-changing prefix
+        kUnlaminated = 1u << 3, ///< index + 32-bit displacement ld/st
+        kWritesRd = 1u << 4,    ///< writes rd when not faulted
+        kIsControl = 1u << 5,   ///< branches, jmp, call, ret
+        kBankOp = 1u << 6,      ///< execution may mutate the HFI bank
+    };
+
+    /** Issue-unit class. */
+    enum : std::uint8_t
+    {
+        kUnitAlu = 0,
+        kUnitMul = 1,
+        kUnitDiv = 2,
+        kUnitMem = 3,
+    };
+
+    /** Control-flow class (drives next-fetch prediction). */
+    enum : std::uint8_t
+    {
+        kCtrlNone = 0,
+        kCtrlCond = 1,
+        kCtrlJmp = 2,
+        kCtrlCall = 3,
+        kCtrlRet = 4,
+    };
+
+    std::uint16_t readyMask = 0; ///< source regs gating issue
+    std::uint16_t taintMask = 0; ///< source regs propagating poison
+    std::uint8_t unit = kUnitAlu;
+    std::uint8_t ctrl = kCtrlNone;
+    std::uint8_t flags = 0;
+};
+
 /** An assembled program: instructions with resolved byte addresses. */
 class Program
 {
@@ -76,6 +126,24 @@ class Program
         return &insts[index];
     }
 
+    /**
+     * Index-returning variant of fetch(), for callers that also want
+     * the instruction's µop/address side-table entries. Returns kNoInst
+     * when no instruction starts at @p addr.
+     */
+    std::size_t
+    fetchIndex(std::uint64_t addr, std::size_t *hint) const
+    {
+        std::size_t index = *hint;
+        if (index >= insts.size() || addrs[index] != addr) {
+            index = indexAt(addr);
+            if (index == kNoInst)
+                return kNoInst;
+        }
+        *hint = index + 1;
+        return index;
+    }
+
     /** Sentinel for "no instruction starts at this address". */
     static constexpr std::size_t kNoInst = static_cast<std::size_t>(-1);
 
@@ -108,6 +176,9 @@ class Program
 
     const std::vector<Inst> &instructions() const { return insts; }
 
+    /** Predecoded µop table, parallel to instructions(). */
+    const MicroOp *microOps() const { return uops.data(); }
+
   private:
     std::uint64_t base_ = 0;
     std::uint64_t end_ = 0;
@@ -122,6 +193,8 @@ class Program
     std::vector<std::int32_t> byOffset;
     /** Per-instruction predecoded target index (-1 = not a target). */
     std::vector<std::int32_t> targetIdx;
+    /** Per-instruction predecoded µops (see MicroOp). */
+    std::vector<MicroOp> uops;
 };
 
 /**

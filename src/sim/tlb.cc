@@ -11,11 +11,17 @@ TlbAccess
 Tlb::access(std::uint64_t addr)
 {
     const std::uint64_t vpn = addr >> config_.pageBits;
+    if (lastVpnValid_ && vpn == lastVpn_) {
+        ++hits_;
+        return {true, 0};
+    }
     Entry *lru = &entries[0];
     for (Entry &e : entries) {
         if (e.valid && e.vpn == vpn) {
             e.lruStamp = ++stamp;
             ++hits_;
+            lastVpn_ = vpn;
+            lastVpnValid_ = true;
             return {true, 0};
         }
         if (!e.valid || e.lruStamp < lru->lruStamp)
@@ -25,6 +31,8 @@ Tlb::access(std::uint64_t addr)
     lru->vpn = vpn;
     lru->lruStamp = ++stamp;
     ++misses_;
+    lastVpn_ = vpn;
+    lastVpnValid_ = true;
     return {false, config_.missLatency};
 }
 
@@ -44,6 +52,7 @@ Tlb::flushAll()
 {
     for (Entry &e : entries)
         e.valid = false;
+    lastVpnValid_ = false;
 }
 
 } // namespace hfi::sim

@@ -62,6 +62,15 @@ class Tlb
     std::uint64_t stamp = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+
+    /**
+     * MRU filter: the vpn of the previous access(). A repeat access is
+     * a guaranteed hit whose entry already holds the youngest stamp, so
+     * skipping the associative scan and the re-stamp is exact (same
+     * argument as Cache::access's fast path).
+     */
+    std::uint64_t lastVpn_ = 0;
+    bool lastVpnValid_ = false;
 };
 
 } // namespace hfi::sim
