@@ -56,6 +56,10 @@ enum class ExitReason : std::uint8_t
     IllegalXrstor,      ///< xrstor(save-hfi-regs) inside a native sandbox
 };
 
+/** Number of ExitReason values (for per-reason accounting arrays). */
+constexpr unsigned kNumExitReasons =
+    static_cast<unsigned>(ExitReason::IllegalXrstor) + 1;
+
 /** Human-readable name for an ExitReason (for logs and gtest output). */
 const char *exitReasonName(ExitReason reason);
 

@@ -8,6 +8,7 @@
 #define HFI_FAAS_LATENCY_H
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +54,27 @@ class LatencyRecorder
         return sum / static_cast<double>(samples.size());
     }
 
+    /**
+     * 0-based index of the nearest-rank percentile @p p over @p n
+     * sorted samples: the smallest sample whose cumulative share of the
+     * distribution is >= p% (1-based rank ceil(p/100 * n)). p = 0 maps
+     * to the minimum, p = 100 to the maximum. The previous
+     * round-half-up formula over n-1 disagreed at the edges — p50 of
+     * two samples returned the max, p0 the wrong sample for even n.
+     */
+    static std::size_t
+    nearestRankIndex(double p, std::size_t n)
+    {
+        // The epsilon keeps an exact-in-theory product (95 * 20 / 100)
+        // that rounds a hair above its integer from ceiling one rank
+        // too far.
+        const double exact = p * static_cast<double>(n) / 100.0;
+        auto rank = static_cast<std::size_t>(std::ceil(exact - 1e-9));
+        if (rank == 0)
+            rank = 1;
+        return std::min(rank, n) - 1;
+    }
+
     /** @p p in [0, 100]; nearest-rank percentile. */
     double
     percentile(double p) const
@@ -61,9 +83,7 @@ class LatencyRecorder
             return 0;
         std::vector<double> sorted = samples;
         std::sort(sorted.begin(), sorted.end());
-        const auto rank = static_cast<std::size_t>(
-            p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
-        return sorted[std::min(rank, sorted.size() - 1)];
+        return sorted[nearestRankIndex(p, sorted.size())];
     }
 
     /** p50/p95/p99/p999 with one sort (same nearest-rank formula). */
@@ -75,15 +95,10 @@ class LatencyRecorder
             return out;
         std::vector<double> sorted = samples;
         std::sort(sorted.begin(), sorted.end());
-        const auto at = [&sorted](double p) {
-            const auto rank = static_cast<std::size_t>(
-                p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
-            return sorted[std::min(rank, sorted.size() - 1)];
-        };
-        out.p50 = at(50);
-        out.p95 = at(95);
-        out.p99 = at(99);
-        out.p999 = at(99.9);
+        out.p50 = sorted[nearestRankIndex(50, sorted.size())];
+        out.p95 = sorted[nearestRankIndex(95, sorted.size())];
+        out.p99 = sorted[nearestRankIndex(99, sorted.size())];
+        out.p999 = sorted[nearestRankIndex(99.9, sorted.size())];
         return out;
     }
 

@@ -41,10 +41,17 @@ runClosedLoop(const PlatformConfig &config, sfi::Sandbox &sandbox,
     ec.clients = config.clients;
     ec.requests = config.requests;
     ec.queueCapacity = 0;
+    ec.seed = config.seed;
+    // Table 1's golden numbers are pinned against the seed-blind
+    // closed-loop request sequence; keep it unless the caller opts out.
+    ec.closedLoopLegacySeeds = config.legacySeeds;
     ec.worker.scheme = static_cast<serve::Scheme>(config.protection);
     ec.worker.swivelEffect = config.swivelEffect;
     ec.worker.dispatchViaScheduler = false;
     ec.worker.quantumNs = 0;
+    ec.worker.faults = config.faults;
+    ec.worker.requestTimeoutNs = config.requestTimeoutNs;
+    ec.worker.maxRetries = config.maxRetries;
 
     const auto sr =
         serve::ServeEngine::runResident(ec, ctx, sandbox, handler);
@@ -59,6 +66,11 @@ runClosedLoop(const PlatformConfig &config, sfi::Sandbox &sandbox,
     res.binaryBytes = config.protection == Protection::Swivel
                           ? config.swivelEffect.binaryBytes
                           : config.stockBinaryBytes;
+    res.faultExits = sr.robustness.exits;
+    res.retries = sr.robustness.retries;
+    res.timeouts = sr.robustness.timeouts;
+    res.quarantines = sr.robustness.quarantines;
+    res.failedRequests = sr.robustness.failed;
     return res;
 }
 

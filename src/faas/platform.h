@@ -26,6 +26,7 @@
 
 #include "core/context.h"
 #include "faas/latency.h"
+#include "serve/faults.h"
 #include "sfi/sandbox.h"
 #include "swivel/swivel.h"
 #include "vm/virtual_clock.h"
@@ -54,6 +55,13 @@ struct RunResult
     double p999LatencyNs = 0;
     double throughputRps = 0;
     std::uint64_t binaryBytes = 0;
+
+    /** Robustness accounting when fault injection is on (else zero). */
+    std::uint64_t faultExits = 0;     ///< attempts ending in an HFI exit
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t failedRequests = 0; ///< retry budget exhausted
 };
 
 /** Platform configuration. */
@@ -66,6 +74,21 @@ struct PlatformConfig
     swivel::SwivelEffect swivelEffect{};
     /** Stock binary size reported for non-Swivel schemes. */
     std::uint64_t stockBinaryBytes = 0;
+
+    /**
+     * Fault injection and robustness (see serve/faults.h). Defaults —
+     * rate 0, no watchdog, no retries — keep the Table 1 cost sequence
+     * bit-identical to the stock platform.
+     */
+    serve::FaultConfig faults{};
+    /** Per-request deadline on the virtual clock; 0 disables. */
+    double requestTimeoutNs = 0;
+    /** Retry budget after a faulted or timed-out attempt. */
+    unsigned maxRetries = 0;
+    /** Engine seed (fault schedule; request seeds when legacySeeds off). */
+    std::uint64_t seed = 1;
+    /** Keep the historical seed-blind closed-loop request sequence. */
+    bool legacySeeds = true;
 };
 
 /**

@@ -50,6 +50,17 @@ Scheduler::switchTo(int pid)
     return true;
 }
 
+bool
+Scheduler::deliverFault(int pid)
+{
+    if (pid < 0 || pid >= static_cast<int>(processes.size()))
+        return false;
+    auto &clock = ctx.clock();
+    clock.tick(clock.nsToCycles(costs_.signalDeliveryNs));
+    ++signalsDelivered_;
+    return switchTo(pid);
+}
+
 int
 Scheduler::yield()
 {

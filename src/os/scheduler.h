@@ -37,6 +37,12 @@ struct SchedulerCosts
      * through HfiContext's xsave/xrstor cycle costs.
      */
     bool saveHfiRegs = true;
+    /**
+     * Signal-frame setup + delivery on top of the ordinary switch when
+     * the kernel routes a fault to the trusted runtime (§3.3.2's
+     * SIGSEGV path), ns.
+     */
+    double signalDeliveryNs = 850.0;
 };
 
 /** One process's saved context. */
@@ -73,6 +79,18 @@ class Scheduler
     /** Round-robin: switch to the next process in pid order. */
     int yield();
 
+    /**
+     * Deliver a fault signal to @p pid: an HFI trap or watchdog kill in
+     * the current process makes the kernel build a signal frame and
+     * switch to the trusted runtime (§3.3.2). Charges signalDeliveryNs
+     * on top of the ordinary context switch.
+     * @return false for an unknown pid.
+     */
+    bool deliverFault(int pid);
+
+    /** Fault signals delivered since construction. */
+    std::uint64_t signalsDelivered() const { return signalsDelivered_; }
+
     int currentPid() const { return current; }
     const Process &process(int pid) const { return processes[pid]; }
     std::size_t processCount() const { return processes.size(); }
@@ -88,6 +106,7 @@ class Scheduler
     std::vector<Process> processes;
     int current = -1;
     std::uint64_t totalSwitches_ = 0;
+    std::uint64_t signalsDelivered_ = 0;
 };
 
 } // namespace hfi::os

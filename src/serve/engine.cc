@@ -30,11 +30,12 @@ ServeEngine::run()
     std::vector<std::unique_ptr<Worker>> workers;
     workers.reserve(config_.workers);
     for (unsigned w = 0; w < config_.workers; ++w)
-        workers.push_back(
-            std::make_unique<Worker>(w, config_.worker, handler_));
+        workers.push_back(std::make_unique<Worker>(w, config_.worker,
+                                                   handler_, config_.seed));
 
     if (config_.mode == LoadMode::ClosedLoop) {
-        ClosedLoopSource source(config_.clients, config_.requests, 0.0);
+        ClosedLoopSource source(config_.clients, config_.requests, 0.0,
+                                config_.seed, config_.closedLoopLegacySeeds);
         return drive(workers, source, config_, 0.0);
     }
     OpenLoopPoissonSource source(config_.requests,
@@ -69,8 +70,8 @@ ServeEngine::runThreaded()
     for (unsigned w = 0; w < n; ++w) {
         threads.emplace_back([this, w, &parts, &sub] {
             std::vector<std::unique_ptr<Worker>> one;
-            one.push_back(
-                std::make_unique<Worker>(w, config_.worker, handler_));
+            one.push_back(std::make_unique<Worker>(w, config_.worker,
+                                                   handler_, config_.seed));
             VectorSource source(std::move(parts[w]));
             sub[w] = drive(one, source, config_, 0.0);
         });
@@ -83,10 +84,10 @@ ServeEngine::runThreaded()
     // matches bit-for-bit.
     ServeResult res;
     res.usedThreads = n;
+    res.perCore.resize(n);
     for (unsigned w = 0; w < n; ++w) {
         const ServeResult &s = sub[w];
         res.served += s.served;
-        res.shed += s.shed;
         res.rejected += s.rejected;
         res.stolen += s.stolen;
         res.maxQueueDepth = std::max(res.maxQueueDepth, s.maxQueueDepth);
@@ -97,7 +98,18 @@ ServeEngine::runThreaded()
         res.hfiStateMismatches += s.hfiStateMismatches;
         res.latencies.merge(s.latencies);
         res.durationNs = std::max(res.durationNs, s.durationNs);
+        // Each sub-run drove one worker over one shard: its per-core
+        // entry 0 *is* core w's breakdown.
+        res.perCore[w] = s.perCore.empty() ? RobustnessStats{}
+                                           : s.perCore[0];
+        res.robustness.merge(res.perCore[w]);
     }
+    // Shed is derived the same way the sequential driver derives it:
+    // the sum of the per-shard admission counters (one source of truth,
+    // no double counting against a global).
+    res.shed = 0;
+    for (const auto &core : res.perCore)
+        res.shed += core.shed;
     res.throughputRps = res.latencies.throughput(res.durationNs);
     res.meanLatencyNs = res.latencies.mean();
     res.latency = res.latencies.percentiles();
@@ -110,11 +122,12 @@ ServeEngine::runResident(const EngineConfig &config, core::HfiContext &ctx,
 {
     const double start = ctx.clock().nowNs();
     std::vector<std::unique_ptr<Worker>> workers;
-    workers.push_back(
-        std::make_unique<Worker>(0, config.worker, handler, ctx, sandbox));
+    workers.push_back(std::make_unique<Worker>(0, config.worker, handler,
+                                               ctx, sandbox, config.seed));
 
     if (config.mode == LoadMode::ClosedLoop) {
-        ClosedLoopSource source(config.clients, config.requests, start);
+        ClosedLoopSource source(config.clients, config.requests, start,
+                                config.seed, config.closedLoopLegacySeeds);
         return drive(workers, source, config, start);
     }
     OpenLoopPoissonSource source(config.requests, config.meanInterarrivalNs,
@@ -176,7 +189,9 @@ ServeEngine::drive(std::vector<std::unique_ptr<Worker>> &workers,
         if (bestShard != bestWorker)
             ++stolen;
         const auto outcome = workers[bestWorker]->serve(req);
-        if (outcome.ok)
+        // A request that exhausted its retries still produced an error
+        // response, so a closed-loop client unblocks either way.
+        if (outcome.ok || outcome.failed)
             source.onComplete(req, outcome.doneNs);
         // A closed-loop source may only now have a next arrival.
         if (!staged)
@@ -184,22 +199,33 @@ ServeEngine::drive(std::vector<std::unique_ptr<Worker>> &workers,
     }
 
     ServeResult res;
-    res.shed = queues.shedCount();
     res.stolen = stolen;
     res.maxQueueDepth = queues.maxDepth();
+    res.perCore.resize(n);
     double lastFree = start_ns;
-    for (const auto &w : workers) {
-        const auto &stats = w->stats();
+    for (unsigned w = 0; w < n; ++w) {
+        const auto &stats = workers[w]->stats();
         res.served += stats.served;
         res.rejected += stats.rejected;
         res.preemptions += stats.preemptions;
         res.instancesCreated += stats.instancesCreated;
         res.reclaimBatches += stats.reclaimBatches;
         res.hfiStateMismatches += stats.hfiStateMismatches;
-        res.contextSwitches += w->contextSwitches();
-        res.latencies.merge(w->latencies());
-        lastFree = std::max(lastFree, w->freeNs());
+        res.contextSwitches += workers[w]->contextSwitches();
+        res.latencies.merge(workers[w]->latencies());
+        lastFree = std::max(lastFree, workers[w]->freeNs());
+
+        // By-core breakdown; shed comes from the core's queue shard —
+        // the one source of truth the engine-wide total sums (the
+        // threaded merge derives it the same way, so sequential and
+        // threaded shed always agree).
+        res.perCore[w] = stats.robustness;
+        res.perCore[w].shed = queues.shedCount(w);
+        res.robustness.merge(res.perCore[w]);
     }
+    res.shed = 0;
+    for (const auto &core : res.perCore)
+        res.shed += core.shed;
     res.durationNs = lastFree - start_ns;
     res.throughputRps = res.latencies.throughput(res.durationNs);
     res.meanLatencyNs = res.latencies.mean();

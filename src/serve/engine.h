@@ -68,6 +68,17 @@ struct EngineConfig
     Sharding sharding = Sharding::RoundRobin;
 
     /**
+     * Compatibility switch for the closed-loop per-request seed
+     * sequence. Closed-loop seeds were historically
+     * `issued * 2654435761u`, ignoring EngineConfig::seed entirely —
+     * every closed-loop run drew identical per-request work. Table 1's
+     * golden numbers are pinned against that sequence, so
+     * faas::runClosedLoop keeps it; new closed-loop users get seeds
+     * mixed from EngineConfig::seed.
+     */
+    bool closedLoopLegacySeeds = false;
+
+    /**
      * Run one host std::thread per simulated core instead of the
      * sequential event loop. Only configurations whose cores are
      * provably independent qualify — open loop, round-robin sharding,
@@ -109,6 +120,20 @@ struct ServeResult
 
     /** Host threads the run actually used (1 = sequential driver). */
     unsigned usedThreads = 1;
+
+    /**
+     * Engine-wide robustness accounting (exits by reason, retries,
+     * timeouts, quarantines, respawns, failures). All zero on the
+     * happy path.
+     */
+    RobustnessStats robustness{};
+    /**
+     * The same breakdown per core, index = worker index. Each entry's
+     * `shed` comes from that core's queue shard — the single source of
+     * truth ServeResult::shed is derived from, in both the sequential
+     * and the threaded driver.
+     */
+    std::vector<RobustnessStats> perCore{};
 
     /** Merged per-request latencies (service order), for tests. */
     faas::LatencyRecorder latencies{};

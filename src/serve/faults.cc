@@ -1,0 +1,175 @@
+#include "serve/faults.h"
+
+#include "core/checker.h"
+#include "serve/load_gen.h"
+
+namespace hfi::serve
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::DataOob: return "data-oob";
+      case FaultKind::CodeOob: return "code-oob";
+      case FaultKind::SyscallStorm: return "syscall-storm";
+      case FaultKind::HmovOverflow: return "hmov-overflow";
+      case FaultKind::Stall: return "stall";
+      case FaultKind::Poison: return "poison";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * The bank injected accesses are checked against when the live context
+ * is not in HFI mode (Unsafe/Swivel schemes, or an hmov probe from a
+ * native sandbox whose bank carries no explicit region): an enabled
+ * native-sandbox register file with one small explicit region, so the
+ * same wild access produces the same checker verdict it would under
+ * HFI.
+ */
+const core::HfiRegisterFile &
+referenceBank()
+{
+    static const core::HfiRegisterFile bank = [] {
+        core::HfiRegisterFile b;
+        b.config.isHybrid = false;
+        b.enabled = true;
+        core::ExplicitDataRegion heap;
+        heap.baseAddress = 0x1000'0000;
+        heap.bound = 64 * 1024;
+        heap.permRead = true;
+        heap.permWrite = true;
+        heap.isLargeRegion = false;
+        b.setRegion(core::kFirstExplicitRegion, core::Region{heap});
+        return b;
+    }();
+    return bank;
+}
+
+/** An address no configured region of any scheme's bank contains. */
+constexpr core::VAddr kWildAddress = 0xdead'beef'f000ULL;
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultConfig &config,
+                             std::uint64_t engine_seed)
+    : config_(config)
+{
+    // Fold the engine seed and the injector's own seed into one stream
+    // key; splitmix64 separates nearby seeds.
+    std::uint64_t state = engine_seed ^ (config.seed * 0x9e3779b97f4a7c15ULL);
+    seed_ = splitmix64(state);
+}
+
+FaultKind
+FaultInjector::decide(std::uint64_t request_id, unsigned attempt) const
+{
+    if (config_.rate <= 0)
+        return FaultKind::None;
+    // Pure function of (seed, id, attempt): the draw is independent of
+    // service order and of how requests are partitioned across cores.
+    std::uint64_t state = seed_ ^ (request_id * 0x2545f4914f6cdd1dULL) ^
+                          (static_cast<std::uint64_t>(attempt) << 48);
+    const double u =
+        static_cast<double>(splitmix64(state) >> 11) * 0x1p-53;
+    if (u >= config_.rate)
+        return FaultKind::None;
+    // Weighted over the injectable kinds: containable HFI exits and
+    // state corruption dominate real fault populations; a full wedge
+    // (the only kind that burns a whole deadline) is the rare
+    // pathological case.
+    static constexpr struct
+    {
+        FaultKind kind;
+        unsigned weight;
+    } kMix[] = {
+        {FaultKind::DataOob, 3},      {FaultKind::CodeOob, 3},
+        {FaultKind::SyscallStorm, 3}, {FaultKind::HmovOverflow, 3},
+        {FaultKind::Stall, 1},        {FaultKind::Poison, 3},
+    };
+    constexpr unsigned kTotal = 16; // sum of the weights above
+    std::uint64_t pick = splitmix64(state) % kTotal;
+    for (const auto &m : kMix) {
+        if (pick < m.weight)
+            return m.kind;
+        pick -= m.weight;
+    }
+    return FaultKind::Poison; // unreachable; the weights sum to kTotal
+}
+
+core::ExitReason
+FaultInjector::raise(FaultKind kind, core::HfiContext &ctx) const
+{
+    using core::AccessChecker;
+    using core::ExitReason;
+
+    const core::HfiRegisterFile &live =
+        ctx.enabled() ? ctx.registerFile() : referenceBank();
+
+    ExitReason reason = ExitReason::None;
+    switch (kind) {
+      case FaultKind::DataOob: {
+        // A load outside every implicit data region — the parallel
+        // comparators next to the dtb miss (§4.1).
+        const auto res = AccessChecker::checkData(live, kWildAddress, 8,
+                                                  /*write=*/false);
+        reason = res.ok ? ExitReason::DataBoundsViolation : res.reason;
+        break;
+      }
+      case FaultKind::CodeOob: {
+        // An indirect jump out of the code regions.
+        const auto res = AccessChecker::checkFetch(live, kWildAddress);
+        reason = res.ok ? ExitReason::CodeBoundsViolation : res.reason;
+        break;
+      }
+      case FaultKind::SyscallStorm: {
+        if (ctx.enabled() && !ctx.config().isHybrid) {
+            // The burst's first syscall is converted into a jump to the
+            // exit handler and leaves HFI mode (§4.4); the rest of the
+            // storm never executes sandboxed.
+            ctx.onSyscall();
+            return ctx.exitReason();
+        }
+        // No HFI redirect in this scheme: the seccomp interposer kills
+        // the instance and the runtime records the equivalent reason.
+        reason = ExitReason::Syscall;
+        break;
+      }
+      case FaultKind::HmovOverflow: {
+        // hmov whose scaled index overflows the effective-address
+        // computation (§4.2). The worker's native bank carries no
+        // explicit region, so probe the reference bank's — selectRegion
+        // would otherwise fail earlier with HmovEmptyRegion.
+        core::HmovOperands ops;
+        ops.index = static_cast<std::int64_t>(1) << 62;
+        ops.scale = 8;
+        ops.displacement = 0;
+        ops.width = 8;
+        const core::HfiRegisterFile &bank =
+            live.flat(core::kFirstExplicitRegion).kind ==
+                    core::RegionKind::ExplicitData
+                ? live
+                : referenceBank();
+        const auto res = AccessChecker::checkHmov(bank, 0, ops,
+                                                  /*write=*/false);
+        reason = res.ok ? ExitReason::HmovOverflow : res.reason;
+        break;
+      }
+      case FaultKind::None:
+      case FaultKind::Stall:
+      case FaultKind::Poison:
+        return ExitReason::None; // not HFI exits; handled by the worker
+    }
+
+    // The hardware trap: disable HFI, record the reason in the MSR; the
+    // OS then delivers a signal to the trusted runtime (§3.3.2).
+    ctx.onFault(reason);
+    return reason;
+}
+
+} // namespace hfi::serve

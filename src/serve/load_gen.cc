@@ -52,8 +52,10 @@ OpenLoopPoissonSource::next()
 }
 
 ClosedLoopSource::ClosedLoopSource(unsigned clients, unsigned requests,
-                                   double start_ns)
-    : ready(clients, start_ns), outstanding(clients, false), total(requests)
+                                   double start_ns, std::uint64_t seed,
+                                   bool legacy_seeds)
+    : ready(clients, start_ns), outstanding(clients, false), total(requests),
+      seed_(seed), legacySeeds_(legacy_seeds)
 {
 }
 
@@ -74,9 +76,12 @@ ClosedLoopSource::next()
     Request req;
     req.id = issued;
     req.arrivalNs = ready[who];
-    // Knuth-hash seed sequence, kept identical to the original
-    // faas::runClosedLoop so Table 1 reproduces bit-for-bit.
-    req.seed = static_cast<std::uint32_t>(issued) * 2654435761u;
+    // Per-request work draws from the engine seed like the open-loop
+    // source; the legacy Knuth-hash sequence (which ignored the seed)
+    // is kept behind a flag so Table 1 reproduces bit-for-bit.
+    req.seed = legacySeeds_
+                   ? static_cast<std::uint32_t>(issued) * 2654435761u
+                   : mixSeed(seed_, issued);
     req.client = who;
     outstanding[who] = true;
     ++issued;

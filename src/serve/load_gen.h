@@ -104,11 +104,17 @@ class VectorSource : public ArrivalSource
  * Closed loop: @p clients concurrent clients, each sending its next
  * request the moment its previous response lands (the Table 1 model).
  * Earliest-ready client issues first; ties go to the lowest index.
+ *
+ * Per-request handler seeds mix @p seed with the issue index, so runs
+ * with different engine seeds draw different work. @p legacy_seeds
+ * restores the historical `issued * 2654435761u` sequence (which
+ * ignored the engine seed — the bug) for Table 1 golden compatibility.
  */
 class ClosedLoopSource : public ArrivalSource
 {
   public:
-    ClosedLoopSource(unsigned clients, unsigned requests, double start_ns);
+    ClosedLoopSource(unsigned clients, unsigned requests, double start_ns,
+                     std::uint64_t seed = 0, bool legacy_seeds = true);
 
     std::optional<Request> next() override;
     void onComplete(const Request &req, double done_ns) override;
@@ -118,6 +124,8 @@ class ClosedLoopSource : public ArrivalSource
     std::vector<bool> outstanding;
     unsigned issued = 0;
     unsigned total;
+    std::uint64_t seed_;
+    bool legacySeeds_;
 };
 
 } // namespace hfi::serve

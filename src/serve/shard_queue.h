@@ -30,7 +30,7 @@ class ShardedQueues
   public:
     /** @p capacity bounds each shard's depth; 0 means unbounded. */
     ShardedQueues(unsigned shards, std::size_t capacity)
-        : queues(shards), capacity_(capacity)
+        : queues(shards), shedPerShard_(shards, 0), capacity_(capacity)
     {
     }
 
@@ -40,7 +40,7 @@ class ShardedQueues
     {
         auto &q = queues[shard];
         if (capacity_ != 0 && q.size() >= capacity_) {
-            ++shed_;
+            ++shedPerShard_[shard];
             return false;
         }
         q.push_back(req);
@@ -93,13 +93,30 @@ class ShardedQueues
     }
 
     std::size_t size(unsigned shard) const { return queues[shard].size(); }
-    std::size_t shedCount() const { return shed_; }
+
+    /** Arrivals shed at admission to @p shard (the per-core counter the
+        engine's by-core breakdown and global total both read). */
+    std::size_t shedCount(unsigned shard) const
+    {
+        return shedPerShard_[shard];
+    }
+
+    /** Total shed across all shards. */
+    std::size_t
+    shedCount() const
+    {
+        std::size_t total = 0;
+        for (std::size_t s : shedPerShard_)
+            total += s;
+        return total;
+    }
+
     std::size_t maxDepth() const { return maxDepth_; }
 
   private:
     std::vector<std::deque<Request>> queues;
+    std::vector<std::size_t> shedPerShard_;
     std::size_t capacity_;
-    std::size_t shed_ = 0;
     std::size_t maxDepth_ = 0;
 };
 

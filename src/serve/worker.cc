@@ -18,7 +18,7 @@ schemeName(Scheme s)
 }
 
 Worker::Worker(unsigned index, const WorkerConfig &config,
-               const Handler &handler)
+               const Handler &handler, std::uint64_t engine_seed)
     : index_(index), config_(config), handler_(handler)
 {
     ownClock = std::make_unique<vm::VirtualClock>();
@@ -33,22 +33,38 @@ Worker::Worker(unsigned index, const WorkerConfig &config,
     sched_.emplace(*ctx_, config_.schedulerCosts);
     serverPid = sched_->createProcess("server-core" + std::to_string(index));
     tenantPid = sched_->createProcess("tenant-core" + std::to_string(index));
+
+    if (config_.faults.rate > 0)
+        injector_.emplace(config_.faults, engine_seed);
+    // Pre-warm the pool; creation is charged to the clock before the
+    // first request, like a platform's boot phase.
+    for (std::size_t i = 0; i < config_.poolSize; ++i) {
+        auto s = runtime->createSandbox(config_.sandboxOptions);
+        if (!s)
+            break;
+        ++stats_.instancesCreated;
+        pool_.push_back(std::move(s));
+    }
     freeNs_ = clock_->nowNs();
 }
 
 Worker::Worker(unsigned index, const WorkerConfig &config,
                const Handler &handler, core::HfiContext &ctx,
-               sfi::Sandbox &resident_sandbox)
+               sfi::Sandbox &resident_sandbox, std::uint64_t engine_seed)
     : index_(index), config_(config), handler_(handler)
 {
     // Borrowed mode serves on the caller's clock against a resident
     // instance; the scheduler path is disabled so the cost sequence is
-    // exactly the original closed-loop serveOne.
+    // exactly the original closed-loop serveOne. No pool: the resident
+    // instance cannot be quarantined, only its requests retried.
     config_.dispatchViaScheduler = false;
     config_.quantumNs = 0;
+    config_.poolSize = 0;
     clock_ = &ctx.clock();
     ctx_ = &ctx;
     resident = &resident_sandbox;
+    if (config_.faults.rate > 0)
+        injector_.emplace(config_.faults, engine_seed);
     freeNs_ = clock_->nowNs();
 }
 
@@ -84,16 +100,51 @@ Worker::preemptForQuantum(double service_start_ns)
 }
 
 void
-Worker::runProtected(sfi::Sandbox &sandbox, std::uint32_t seed,
-                     double service_start_ns)
+Worker::runBody(sfi::Sandbox &sandbox, std::uint32_t seed, FaultKind kind,
+                AttemptOutcome &out)
 {
+    if (kind == FaultKind::Stall) {
+        if (config_.requestTimeoutNs > 0) {
+            // The handler wedges and never returns; the watchdog kills
+            // the attempt at the deadline, leaving the instance in an
+            // unknown state.
+            clock_->tick(clock_->nsToCycles(config_.requestTimeoutNs));
+            out.completed = false;
+            out.timedOut = true;
+            out.poisoned = true;
+            return;
+        }
+        // No watchdog: the livelock eventually clears and the request
+        // completes — slowly. (This is why deadlines matter.)
+        clock_->tick(clock_->nsToCycles(injector_->stallNs()));
+    }
+    handler_(sandbox, seed);
+    if (kind == FaultKind::Poison)
+        // The response is produced, but the request corrupted instance
+        // state on the way out — it must not serve another request.
+        out.poisoned = true;
+}
+
+Worker::AttemptOutcome
+Worker::runProtected(sfi::Sandbox &sandbox, std::uint32_t seed,
+                     double service_start_ns, FaultKind kind)
+{
+    AttemptOutcome out;
+    const bool raises = faultRaisesExit(kind);
     switch (config_.scheme) {
       case Scheme::Unsafe:
       case Scheme::Swivel:
-        // Plain springboard transition around the handler.
+        // Plain springboard transition around the handler. An injected
+        // bad access becomes a guard-page SIGSEGV; the recorded reason
+        // still comes from the real checker (see FaultInjector::raise).
         sandbox.enter();
-        handler_(sandbox, seed);
-        preemptForQuantum(service_start_ns);
+        runBody(sandbox, seed, kind, out);
+        if (out.completed && raises) {
+            out.exitReason = injector_->raise(kind, *ctx_);
+            out.completed = false;
+        }
+        if (out.completed)
+            preemptForQuantum(service_start_ns);
         sandbox.exit();
         break;
       case Scheme::HfiNative: {
@@ -106,10 +157,26 @@ Worker::runProtected(sfi::Sandbox &sandbox, std::uint32_t seed,
         sc.exitHandler = 0x7000'0000;
         ctx_->enter(sc);
         sandbox.enter();
-        handler_(sandbox, seed);
-        preemptForQuantum(service_start_ns);
+        runBody(sandbox, seed, kind, out);
+        if (out.completed && raises) {
+            out.exitReason = injector_->raise(kind, *ctx_);
+            out.completed = false;
+        }
+        if (out.completed)
+            preemptForQuantum(service_start_ns);
         sandbox.exit();
-        ctx_->exit();
+        if (out.completed) {
+            ctx_->exit();
+        } else {
+            // The trap already left HFI mode (onFault/onSyscall
+            // disabled it); a watchdog kill finds the sandbox still
+            // live and tears it down as a hardware fault. Either way
+            // the runtime's handler reads the MSR to classify the exit
+            // (§3.3.2).
+            if (ctx_->enabled())
+                ctx_->onFault(core::ExitReason::HardwareFault);
+            ctx_->readExitReasonMsr();
+        }
         break;
       }
       case Scheme::HfiSwitchOnExit: {
@@ -121,13 +188,25 @@ Worker::runProtected(sfi::Sandbox &sandbox, std::uint32_t seed,
         sc.switchOnExit = true;
         ctx_->enter(sc);
         sandbox.enter();
-        handler_(sandbox, seed);
-        preemptForQuantum(service_start_ns);
+        runBody(sandbox, seed, kind, out);
+        if (out.completed && raises) {
+            out.exitReason = injector_->raise(kind, *ctx_);
+            out.completed = false;
+        }
+        if (out.completed)
+            preemptForQuantum(service_start_ns);
         sandbox.exit();
-        ctx_->exit();
+        if (out.completed) {
+            ctx_->exit();
+        } else {
+            if (ctx_->enabled())
+                ctx_->onFault(core::ExitReason::HardwareFault);
+            ctx_->readExitReasonMsr();
+        }
         break;
       }
     }
+    return out;
 }
 
 void
@@ -148,68 +227,196 @@ Worker::retire(std::unique_ptr<sfi::Sandbox> instance)
     retired.clear();
 }
 
+std::unique_ptr<sfi::Sandbox>
+Worker::acquireInstance(double wall_ns, double *wait_ns)
+{
+    *wait_ns = 0;
+    if (config_.poolSize == 0) {
+        // FaaS instance-per-request: a cold instance from this core's
+        // pool shard. Creation cost (mmap + backend setup) is part of
+        // the request's latency, as it is on a real platform.
+        auto fresh = runtime->createSandbox(config_.sandboxOptions);
+        if (fresh)
+            ++stats_.instancesCreated;
+        return fresh;
+    }
+    // Background respawns whose delay elapsed: the platform recreated
+    // quarantined slots off the critical path; the creation work is
+    // charged at the first dispatch that can observe the new instance.
+    while (!respawns_.empty() && respawns_.front() <= wall_ns) {
+        respawns_.pop_front();
+        auto s = runtime->createSandbox(config_.sandboxOptions);
+        if (s) {
+            ++stats_.instancesCreated;
+            ++stats_.robustness.respawns;
+            pool_.push_back(std::move(s));
+        }
+    }
+    if (pool_.empty() && !respawns_.empty()) {
+        // Every warm slot is quarantined right now. Quarantine always
+        // schedules a respawn, so the pool can momentarily dry up but
+        // never drains for good: wait for the earliest respawn.
+        ++stats_.robustness.poolWaits;
+        *wait_ns = respawns_.front() - wall_ns;
+        respawns_.pop_front();
+        auto s = runtime->createSandbox(config_.sandboxOptions);
+        if (s) {
+            ++stats_.instancesCreated;
+            ++stats_.robustness.respawns;
+            return s;
+        }
+    }
+    if (pool_.empty()) {
+        // Zero warm slots survived construction (VA exhaustion); fall
+        // back to a cold synchronous create.
+        auto s = runtime->createSandbox(config_.sandboxOptions);
+        if (s)
+            ++stats_.instancesCreated;
+        return s;
+    }
+    auto inst = std::move(pool_.front());
+    pool_.pop_front();
+    return inst;
+}
+
 Worker::Outcome
 Worker::serve(const Request &req)
 {
     // Queueing is arithmetic (the clock never idles): service begins at
     // the later of the worker becoming free and the request arriving.
     const double begin = std::max(freeNs_, req.arrivalNs);
-    const double service_start = clock_->nowNs();
+    // Virtual wall time the current attempt's dispatch starts; retries
+    // push it forward by the failed service plus backoff.
+    double wall = begin;
 
-    if (config_.dispatchViaScheduler && sched_)
-        sched_->switchTo(tenantPid);
+    for (unsigned attempt = 0;; ++attempt) {
+        const FaultKind kind =
+            injector_ ? injector_->decide(req.id, attempt) : FaultKind::None;
+        if (kind != FaultKind::None)
+            ++stats_.robustness.faultsInjected;
 
-    sfi::Sandbox *sandbox = resident;
-    std::unique_ptr<sfi::Sandbox> fresh;
-    if (!sandbox) {
-        // FaaS instance-per-request: a cold instance from this core's
-        // pool shard. Creation cost (mmap + backend setup) is part of
-        // the request's latency, as it is on a real platform.
-        fresh = runtime->createSandbox(config_.sandboxOptions);
-        if (!fresh) {
-            ++stats_.rejected;
-            if (config_.dispatchViaScheduler && sched_)
-                sched_->switchTo(serverPid);
-            return {};
+        const double service_start = clock_->nowNs();
+        if (config_.dispatchViaScheduler && sched_)
+            sched_->switchTo(tenantPid);
+
+        sfi::Sandbox *sandbox = resident;
+        std::unique_ptr<sfi::Sandbox> instance;
+        double poolWait = 0;
+        if (!sandbox) {
+            instance = acquireInstance(wall, &poolWait);
+            if (!instance) {
+                ++stats_.rejected;
+                if (config_.dispatchViaScheduler && sched_)
+                    sched_->switchTo(serverPid);
+                return {};
+            }
+            sandbox = instance.get();
+            // Warm-pool dispatch: the core's register file was swapped
+            // by process switches since this instance last ran, so its
+            // enforcement state must be re-installed — before the
+            // scheme's own (region-locking) hfi_enter. Cold per-request
+            // instances were created under the live bank and need
+            // nothing.
+            if (config_.poolSize > 0)
+                sandbox->rebindRegions();
         }
-        ++stats_.instancesCreated;
-        sandbox = fresh.get();
+
+        AttemptOutcome at =
+            runProtected(*sandbox, req.seed, service_start, kind);
+
+        double service = clock_->nowNs() - service_start;
+        if (config_.scheme == Scheme::Swivel &&
+            config_.swivelEffect.computeFactor > 1.0) {
+            // Swivel's hardening multiplies the executed cycles; charge
+            // the extra time to the clock so the whole simulation stays
+            // causal.
+            const double extra =
+                service * (config_.swivelEffect.computeFactor - 1.0);
+            clock_->tick(clock_->nsToCycles(extra));
+            service += extra;
+        }
+        // Watchdog: an attempt that ran past the deadline is counted
+        // out even if it eventually produced a response — the client
+        // has given up. (Injected stalls hit this in runBody already.)
+        if (config_.requestTimeoutNs > 0 && !at.timedOut &&
+            service > config_.requestTimeoutNs)
+            at.timedOut = true;
+
+        const double done = wall + poolWait + service;
+
+        // Post-response work — recycling or quarantining the instance
+        // and switching back to the server process — delays the *next*
+        // attempt/request but is invisible to this one's latency: the
+        // response (or fault signal) has already left.
+        const double post_start = clock_->nowNs();
+        if (instance) {
+            if (config_.poolSize > 0) {
+                if (at.poisoned) {
+                    // Quarantine: tear the suspect instance down (it
+                    // joins the batched-madvise path) and schedule a
+                    // background respawn for its slot.
+                    ++stats_.robustness.quarantines;
+                    respawns_.push_back(done + config_.respawnDelayNs);
+                    retire(std::move(instance));
+                } else {
+                    // HFI contained the fault (or the request was
+                    // clean): the instance state is intact, back into
+                    // the warm pool.
+                    pool_.push_back(std::move(instance));
+                }
+            } else {
+                if (at.poisoned)
+                    ++stats_.robustness.quarantines;
+                retire(std::move(instance));
+            }
+        }
+        if (config_.dispatchViaScheduler && sched_) {
+            if (at.completed)
+                sched_->switchTo(serverPid);
+            else
+                // The kernel delivers the fault signal to the trusted
+                // runtime on its way back (§3.3.2).
+                sched_->deliverFault(serverPid);
+        }
+        const double post = clock_->nowNs() - post_start;
+
+        if (at.completed && !at.timedOut) {
+            freeNs_ = done + post;
+            ++stats_.served;
+            ++stats_.robustness.served;
+            latencies_.add(done - req.arrivalNs);
+
+            Outcome out;
+            out.ok = true;
+            out.doneNs = done;
+            out.latencyNs = done - req.arrivalNs;
+            return out;
+        }
+
+        // Failed attempt: account it, then retry or give up.
+        if (at.timedOut)
+            ++stats_.robustness.timeouts;
+        if (at.exitReason != core::ExitReason::None) {
+            ++stats_.robustness.exits;
+            ++stats_.robustness
+                  .exitsByReason[static_cast<unsigned>(at.exitReason)];
+        }
+
+        if (attempt >= config_.maxRetries) {
+            ++stats_.robustness.failed;
+            freeNs_ = done + post;
+            Outcome out;
+            out.failed = true;
+            out.doneNs = done; // the error response leaves before cleanup
+            out.latencyNs = done - req.arrivalNs;
+            return out;
+        }
+        ++stats_.robustness.retries;
+        // Exponential backoff before the next attempt; the worker is
+        // idle for the gap (arithmetic time, like queueing delay).
+        wall = done + post +
+               config_.retryBackoffNs * static_cast<double>(1ULL << attempt);
     }
-
-    runProtected(*sandbox, req.seed, service_start);
-
-    double service = clock_->nowNs() - service_start;
-    if (config_.scheme == Scheme::Swivel &&
-        config_.swivelEffect.computeFactor > 1.0) {
-        // Swivel's hardening multiplies the executed cycles; charge the
-        // extra time to the clock so the whole simulation stays causal.
-        const double extra =
-            service * (config_.swivelEffect.computeFactor - 1.0);
-        clock_->tick(clock_->nsToCycles(extra));
-        service += extra;
-    }
-    const double done = begin + service;
-
-    // Post-response work — retiring the instance (with its batched
-    // madvise teardown when the batch fills) and switching back to the
-    // server process — delays the *next* request but is invisible to
-    // this one's latency: the response has already left.
-    const double post_start = clock_->nowNs();
-    if (fresh)
-        retire(std::move(fresh));
-    if (config_.dispatchViaScheduler && sched_)
-        sched_->switchTo(serverPid);
-    const double post = clock_->nowNs() - post_start;
-
-    freeNs_ = done + post;
-    ++stats_.served;
-    latencies_.add(done - req.arrivalNs);
-
-    Outcome out;
-    out.ok = true;
-    out.doneNs = done;
-    out.latencyNs = done - req.arrivalNs;
-    return out;
 }
 
 } // namespace hfi::serve

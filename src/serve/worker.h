@@ -28,6 +28,7 @@
 #define HFI_SERVE_WORKER_H
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "core/context.h"
 #include "faas/latency.h"
 #include "os/scheduler.h"
+#include "serve/faults.h"
 #include "serve/request.h"
 #include "sfi/runtime.h"
 #include "swivel/swivel.h"
@@ -70,6 +72,28 @@ struct WorkerConfig
     /** Address-space width of each core's arena. */
     unsigned vaBits = 48;
     os::SchedulerCosts schedulerCosts{};
+
+    /** Fault injection (rate 0 = stock happy path, zero overhead). */
+    FaultConfig faults{};
+    /**
+     * Per-request deadline on the virtual clock: an attempt whose
+     * service time exceeds this is killed by the watchdog, its instance
+     * quarantined. 0 disables the watchdog.
+     */
+    double requestTimeoutNs = 0;
+    /** Retry budget after a faulted/timed-out attempt. 0 = fail fast. */
+    unsigned maxRetries = 0;
+    /** Backoff before retry k is retryBackoffNs * 2^k (virtual ns). */
+    double retryBackoffNs = 50'000.0;
+    /**
+     * Warm instances kept per core. 0 keeps the stock FaaS
+     * instance-per-request model (create + retire around every
+     * request); > 0 serves from a warm pool whose quarantined members
+     * are respawned in the background after respawnDelayNs.
+     */
+    std::size_t poolSize = 0;
+    /** Delay before a quarantined pool slot is respawned (virtual ns). */
+    double respawnDelayNs = 200'000.0;
 };
 
 /** Counters one worker accumulates; merged by the engine. */
@@ -87,14 +111,20 @@ struct WorkerStats
      * restore path regresses; asserted by tests.
      */
     std::uint64_t hfiStateMismatches = 0;
+    /** Fault/timeout/retry/quarantine accounting (see serve/faults.h). */
+    RobustnessStats robustness{};
 };
 
 class Worker
 {
   public:
-    /** Owned-resources worker: a full per-core stack. */
+    /**
+     * Owned-resources worker: a full per-core stack. @p engine_seed
+     * keys the fault injector (when config.faults.rate > 0) so fault
+     * schedules follow the engine's master seed.
+     */
     Worker(unsigned index, const WorkerConfig &config,
-           const Handler &handler);
+           const Handler &handler, std::uint64_t engine_seed = 0);
 
     /**
      * Borrowed-resources worker: serve on the caller's clock/context
@@ -102,7 +132,7 @@ class Worker
      */
     Worker(unsigned index, const WorkerConfig &config,
            const Handler &handler, core::HfiContext &ctx,
-           sfi::Sandbox &resident);
+           sfi::Sandbox &resident, std::uint64_t engine_seed = 0);
 
     Worker(Worker &&) = delete;
 
@@ -112,6 +142,9 @@ class Worker
     struct Outcome
     {
         bool ok = false;
+        /** Request gave up (retries exhausted); an error response was
+            still produced at doneNs, so closed-loop clients unblock. */
+        bool failed = false;
         double doneNs = 0;    ///< response completion time
         double latencyNs = 0; ///< doneNs - arrival
     };
@@ -129,12 +162,34 @@ class Worker
     }
 
   private:
+    /** What one attempt inside the sandbox did (see runProtected). */
+    struct AttemptOutcome
+    {
+        bool completed = true; ///< handler ran to completion, response sent
+        bool timedOut = false; ///< watchdog killed a wedged attempt
+        bool poisoned = false; ///< instance is suspect; do not reuse
+        /** MSR reason when the attempt raised an HFI exit. */
+        core::ExitReason exitReason = core::ExitReason::None;
+    };
+
     /** Run the handler under the configured protection scheme. */
-    void runProtected(sfi::Sandbox &sandbox, std::uint32_t seed,
-                      double service_start_ns);
+    AttemptOutcome runProtected(sfi::Sandbox &sandbox, std::uint32_t seed,
+                                double service_start_ns, FaultKind kind);
+    /** The handler body plus injected stall/poison effects. */
+    void runBody(sfi::Sandbox &sandbox, std::uint32_t seed, FaultKind kind,
+                 AttemptOutcome &out);
     /** Timer preemptions for a handler that ran past the quantum. */
     void preemptForQuantum(double service_start_ns);
     void retire(std::unique_ptr<sfi::Sandbox> instance);
+    /**
+     * An instance to run the attempt in: a fresh per-request create
+     * (poolSize 0, the stock path) or the next warm pool member —
+     * draining any respawn whose delay elapsed by virtual time
+     * @p wall_ns first, and waiting for one (*wait_ns) if the pool is
+     * momentarily dry.
+     */
+    std::unique_ptr<sfi::Sandbox> acquireInstance(double wall_ns,
+                                                  double *wait_ns);
 
     unsigned index_;
     WorkerConfig config_;
@@ -156,6 +211,13 @@ class Worker
 
     /** Retired instances awaiting the next batched teardown. */
     std::vector<std::unique_ptr<sfi::Sandbox>> retired;
+
+    /** Fault injector (engaged when config.faults.rate > 0). */
+    std::optional<FaultInjector> injector_;
+    /** Warm instances (FIFO reuse), when config.poolSize > 0. */
+    std::deque<std::unique_ptr<sfi::Sandbox>> pool_;
+    /** Virtual times pending respawns become ready (monotone). */
+    std::deque<double> respawns_;
 
     double freeNs_ = 0;
     WorkerStats stats_;

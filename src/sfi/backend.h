@@ -123,6 +123,17 @@ class IsolationBackend
                                     bool write,
                                     const LinearMemory &mem) = 0;
 
+    /**
+     * Re-install any per-core state this sandbox's enforcement depends
+     * on (HFI: hfi_set_region of the heap region, §6.4.2). Needed when
+     * an instance is dispatched on a core whose register state was
+     * swapped since the instance last ran — the warm-pool dispatch path
+     * — and must happen before any region-locking hfi_enter. Schemes
+     * whose enforcement lives in the address space (guard pages, masks,
+     * bounds variables) need nothing: the default is free.
+     */
+    virtual void rebindRegions() {}
+
     /** Transition into sandboxed execution; charges transition cost. */
     virtual void enterSandbox() = 0;
 

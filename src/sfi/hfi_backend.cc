@@ -85,6 +85,17 @@ HfiBackend::checkAccess(std::uint64_t offset, std::uint32_t width,
 }
 
 void
+HfiBackend::rebindRegions()
+{
+    // Warm dispatch on a core whose register file was context-switched
+    // since this instance last ran: reload the heap region descriptor
+    // before the (region-locking) hfi_enter. One hfi_set_region, the
+    // §6.1 "just update the bound registers" cost.
+    if (live)
+        programRegion(accessibleBytes);
+}
+
+void
 HfiBackend::enterSandbox()
 {
     // Each transition re-loads the region metadata from memory into the

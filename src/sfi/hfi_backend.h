@@ -62,6 +62,7 @@ class HfiBackend : public IsolationBackend
     void grow(std::uint64_t old_pages, std::uint64_t new_pages) override;
     AccessCheck checkAccess(std::uint64_t offset, std::uint32_t width,
                             bool write, const LinearMemory &mem) override;
+    void rebindRegions() override;
     void enterSandbox() override;
     void exitSandbox() override;
     SteadyStateCosts steadyStateCosts() const override;

@@ -103,6 +103,9 @@ class Sandbox
     /** True when the backend's address-space footprint was created. */
     bool valid() const { return valid_; }
 
+    /** Re-install per-core enforcement state on warm dispatch. */
+    void rebindRegions() { backend_->rebindRegions(); }
+
     /** Enter sandboxed execution (springboard / hfi_enter). */
     void enter();
 

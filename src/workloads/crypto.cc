@@ -143,7 +143,10 @@ sha256(const std::uint8_t *data, std::size_t len)
         off += 64;
     }
     std::uint8_t tail[64];
-    std::memcpy(tail, data + off, len - off);
+    // len == 0 arrives with data == nullptr; memcpy requires non-null
+    // pointers even for a zero-byte copy.
+    if (len - off > 0)
+        std::memcpy(tail, data + off, len - off);
     return sha256Finish(h, tail, len - off, len);
 }
 

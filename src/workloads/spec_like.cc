@@ -174,7 +174,12 @@ runMilc(sfi::Sandbox &s, std::uint64_t scale, std::uint32_t seed)
             const std::uint64_t mc = c + site * 72;
             for (int row = 0; row < 3; ++row) {
                 for (int col = 0; col < 3; ++col) {
-                    std::int64_t re = 0, im = 0;
+                    // The accumulators intentionally wrap (the product
+                    // feeds the next sweep as pseudo-random input), so
+                    // they are unsigned: the stored bits 16..47 are the
+                    // same as under two's-complement signed wraparound,
+                    // without the signed-overflow UB.
+                    std::uint64_t re = 0, im = 0;
                     for (int k = 0; k < 3; ++k) {
                         const auto are = static_cast<std::int32_t>(
                             s.load<std::uint32_t>(ma + (row * 3 + k) * 8));
@@ -184,10 +189,14 @@ runMilc(sfi::Sandbox &s, std::uint64_t scale, std::uint32_t seed)
                             s.load<std::uint32_t>(mb + (k * 3 + col) * 8));
                         const auto bim = static_cast<std::int32_t>(
                             s.load<std::uint32_t>(mb + (k * 3 + col) * 8 + 4));
-                        re += static_cast<std::int64_t>(are) * bre -
-                              static_cast<std::int64_t>(aim) * bim;
-                        im += static_cast<std::int64_t>(are) * bim +
-                              static_cast<std::int64_t>(aim) * bre;
+                        re += static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(are) * bre) -
+                              static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(aim) * bim);
+                        im += static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(are) * bim) +
+                              static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(aim) * bre);
                     }
                     s.store<std::uint32_t>(mc + (row * 3 + col) * 8,
                                            static_cast<std::uint32_t>(re >> 16));

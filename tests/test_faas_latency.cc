@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for LatencyRecorder's nearest-rank percentile: pinned against a
+ * brute-force reference over small sample counts, plus the edge cases
+ * the previous round-half-up formula got wrong.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "faas/latency.h"
+
+namespace
+{
+
+using hfi::faas::LatencyRecorder;
+
+/**
+ * Brute-force nearest-rank reference: the smallest sorted sample whose
+ * 1-based rank r satisfies 100 * r / n >= p — i.e. at least a p-fraction
+ * of the distribution is at or below it. Computed with exact integer
+ * arithmetic (p scaled by 10 to carry one decimal digit).
+ */
+double
+referencePercentile(std::vector<double> sorted, unsigned p_times_10)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    for (std::size_t r = 1; r <= n; ++r) {
+        // rank r covers fraction r/n; compare r/n >= p/1000 exactly.
+        if (r * 1000 >= static_cast<std::size_t>(p_times_10) * n)
+            return sorted[r - 1];
+    }
+    return sorted[n - 1];
+}
+
+LatencyRecorder
+record(const std::vector<double> &samples)
+{
+    LatencyRecorder rec;
+    for (double s : samples)
+        rec.add(s);
+    return rec;
+}
+
+TEST(LatencyPercentile, MatchesBruteForceForSmallN)
+{
+    // Every n in 1..8 with distinct ascending samples, every percentile
+    // the repo reports plus the edges.
+    const unsigned kPs[] = {0, 100, 250, 500, 750, 950, 990, 999, 1000};
+    for (std::size_t n = 1; n <= 8; ++n) {
+        std::vector<double> samples;
+        for (std::size_t i = 0; i < n; ++i)
+            samples.push_back(10.0 * static_cast<double>(i + 1));
+        const auto rec = record(samples);
+        for (unsigned p10 : kPs) {
+            const double p = static_cast<double>(p10) / 10.0;
+            EXPECT_EQ(rec.percentile(p), referencePercentile(samples, p10))
+                << "n=" << n << " p=" << p;
+        }
+    }
+}
+
+TEST(LatencyPercentile, MedianOfTwoIsTheLowerSample)
+{
+    // The old +0.5 rounding returned the max here.
+    const auto rec = record({10.0, 20.0});
+    EXPECT_EQ(rec.percentile(50), 10.0);
+}
+
+TEST(LatencyPercentile, ZeroIsTheMinimumHundredTheMaximum)
+{
+    const auto rec = record({30.0, 10.0, 20.0, 40.0});
+    EXPECT_EQ(rec.percentile(0), 10.0);
+    EXPECT_EQ(rec.percentile(100), 40.0);
+}
+
+TEST(LatencyPercentile, ExactRankBoundariesDoNotOvershoot)
+{
+    // p95 over 20 samples: 0.95 * 20 = 19 exactly in theory, a hair
+    // above 19 in floating point; the rank must stay 19, not ceil to 20.
+    std::vector<double> samples;
+    for (int i = 1; i <= 20; ++i)
+        samples.push_back(static_cast<double>(i));
+    const auto rec = record(samples);
+    EXPECT_EQ(rec.percentile(95), 19.0);
+    EXPECT_EQ(rec.percentile(50), 10.0);
+    EXPECT_EQ(rec.percentile(5), 1.0);
+}
+
+TEST(LatencyPercentile, PercentilesStructAgreesWithPercentile)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i)
+        samples.push_back(static_cast<double>((i * 7919) % 1000));
+    const auto rec = record(samples);
+    const auto ps = rec.percentiles();
+    EXPECT_EQ(ps.p50, rec.percentile(50));
+    EXPECT_EQ(ps.p95, rec.percentile(95));
+    EXPECT_EQ(ps.p99, rec.percentile(99));
+    EXPECT_EQ(ps.p999, rec.percentile(99.9));
+}
+
+TEST(LatencyPercentile, EmptyRecorderReportsZero)
+{
+    const LatencyRecorder rec;
+    EXPECT_EQ(rec.percentile(50), 0.0);
+    EXPECT_EQ(rec.percentiles().p99, 0.0);
+    EXPECT_EQ(rec.mean(), 0.0);
+}
+
+TEST(LatencyPercentile, SingleSampleIsEveryPercentile)
+{
+    const auto rec = record({42.0});
+    for (double p : {0.0, 50.0, 95.0, 99.0, 99.9, 100.0})
+        EXPECT_EQ(rec.percentile(p), 42.0);
+}
+
+} // namespace

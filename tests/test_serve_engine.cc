@@ -329,4 +329,120 @@ TEST(ServeEngine, FreshInstancePerRequestWithBatchedTeardown)
     EXPECT_EQ(res.rejected, 0u);
 }
 
+// ---------------------------------------------------------------------
+// ShardedQueues edge cases and counter properties.
+
+TEST(ShardedQueues, StealTieGoesToLowestIndex)
+{
+    // Shards 1 and 2 equally deep: worker 0 must steal from shard 1
+    // (strict > comparison, first-seen wins).
+    ShardedQueues q(3, 0);
+    Request r;
+    q.offer(1, r);
+    q.offer(1, r);
+    q.offer(2, r);
+    q.offer(2, r);
+    EXPECT_EQ(q.pickFor(0, true), 1);
+    // Depth 2 beats depth 1 regardless of index order.
+    q.offer(2, r);
+    EXPECT_EQ(q.pickFor(0, true), 2);
+}
+
+TEST(ShardedQueues, StealSkipsOwnEmptyShardAndHonorsFlag)
+{
+    ShardedQueues q(2, 0);
+    Request r;
+    q.offer(1, r);
+    EXPECT_EQ(q.pickFor(0, false), -1); // stealing off: stay dry
+    EXPECT_EQ(q.pickFor(0, true), 1);
+    EXPECT_EQ(q.pickFor(1, false), 1); // own shard needs no stealing
+}
+
+TEST(ShardedQueues, CapacityZeroNeverSheds)
+{
+    ShardedQueues q(2, 0);
+    Request r;
+    for (int i = 0; i < 10'000; ++i)
+        EXPECT_TRUE(q.offer(static_cast<unsigned>(i % 2), r));
+    EXPECT_EQ(q.shedCount(), 0u);
+    EXPECT_EQ(q.maxDepth(), 5'000u);
+}
+
+TEST(ShardedQueues, CountersMatchReferenceModelAcrossInterleavings)
+{
+    // Drive offer/take/steal interleavings from a seeded stream and
+    // check shed (global and per shard) plus maxDepth against a plain
+    // reference model.
+    constexpr unsigned kShards = 3;
+    constexpr std::size_t kCap = 4;
+    ShardedQueues q(kShards, kCap);
+    std::vector<std::size_t> refDepth(kShards, 0);
+    std::vector<std::size_t> refShed(kShards, 0);
+    std::size_t refMax = 0;
+
+    std::uint64_t state = 0xfeedULL;
+    for (int step = 0; step < 2'000; ++step) {
+        const std::uint64_t roll = splitmix64(state);
+        const auto shard = static_cast<unsigned>(roll % kShards);
+        if ((roll >> 8) % 3 != 0) { // two thirds arrivals
+            Request r;
+            r.id = static_cast<std::uint64_t>(step);
+            const bool admitted = q.offer(shard, r);
+            if (refDepth[shard] >= kCap) {
+                EXPECT_FALSE(admitted);
+                ++refShed[shard];
+            } else {
+                EXPECT_TRUE(admitted);
+                ++refDepth[shard];
+                refMax = std::max(refMax, refDepth[shard]);
+            }
+        } else { // one third serves, stealing when dry
+            const int pick = q.pickFor(shard, true);
+            int refPick = -1;
+            if (refDepth[shard] > 0) {
+                refPick = static_cast<int>(shard);
+            } else {
+                std::size_t best = 0;
+                for (unsigned s = 0; s < kShards; ++s)
+                    if (s != shard && refDepth[s] > best) {
+                        best = refDepth[s];
+                        refPick = static_cast<int>(s);
+                    }
+            }
+            ASSERT_EQ(pick, refPick);
+            if (pick >= 0) {
+                q.take(static_cast<unsigned>(pick));
+                --refDepth[static_cast<unsigned>(pick)];
+            }
+        }
+    }
+
+    std::size_t refShedTotal = 0;
+    for (unsigned s = 0; s < kShards; ++s) {
+        EXPECT_EQ(q.shedCount(s), refShed[s]) << "shard " << s;
+        EXPECT_EQ(q.size(s), refDepth[s]) << "shard " << s;
+        refShedTotal += refShed[s];
+    }
+    EXPECT_EQ(q.shedCount(), refShedTotal);
+    EXPECT_EQ(q.maxDepth(), refMax);
+    EXPECT_GT(refShedTotal, 0u); // the stream actually exercised shedding
+}
+
+TEST(ShardedQueues, TakePreservesFifoOrderEvenWhenStolen)
+{
+    ShardedQueues q(2, 0);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        Request r;
+        r.id = i;
+        q.offer(0, r);
+    }
+    // Worker 1 steals: it must receive the *oldest* request (FIFO
+    // stealing is kind to tail latency).
+    const int pick = q.pickFor(1, true);
+    ASSERT_EQ(pick, 0);
+    EXPECT_EQ(q.take(0).id, 0u);
+    EXPECT_EQ(q.take(0).id, 1u);
+    EXPECT_EQ(q.take(0).id, 2u);
+}
+
 } // namespace

@@ -46,6 +46,23 @@ threadableConfig(unsigned workers)
 }
 
 void
+expectSameRobustness(const RobustnessStats &a, const RobustnessStats &b)
+{
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.exits, b.exits);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.quarantines, b.quarantines);
+    EXPECT_EQ(a.respawns, b.respawns);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.poolWaits, b.poolWaits);
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.shed, b.shed);
+    for (unsigned i = 0; i < core::kNumExitReasons; ++i)
+        EXPECT_EQ(a.exitsByReason[i], b.exitsByReason[i]);
+}
+
+void
 expectIdentical(const ServeResult &a, const ServeResult &b)
 {
     EXPECT_EQ(a.served, b.served);
@@ -66,6 +83,15 @@ expectIdentical(const ServeResult &a, const ServeResult &b)
     EXPECT_EQ(a.latency.p99, b.latency.p99);
     EXPECT_EQ(a.latency.p999, b.latency.p999);
     ASSERT_EQ(a.latencies.values(), b.latencies.values());
+    expectSameRobustness(a.robustness, b.robustness);
+    ASSERT_EQ(a.perCore.size(), b.perCore.size());
+    for (std::size_t w = 0; w < a.perCore.size(); ++w) {
+        SCOPED_TRACE(w);
+        // Satellite fix: shed has one source of truth (the per-shard
+        // queue counters), so the by-core shed — not just the total —
+        // must agree between the drivers.
+        expectSameRobustness(a.perCore[w], b.perCore[w]);
+    }
 }
 
 TEST(ServeThreads, ThreadedRunIsBitIdenticalToSequential)
@@ -110,6 +136,35 @@ TEST(ServeThreads, ThreadedRunsAreRepeatable)
     const auto a = ServeEngine(cfg, testHandler()).run();
     const auto b = ServeEngine(cfg, testHandler()).run();
     expectIdentical(a, b);
+}
+
+TEST(ServeThreads, FaultCampaignIsBitIdenticalUnderThreads)
+{
+    // The whole robustness pipeline — injection, retries with backoff,
+    // watchdog timeouts, quarantine + background respawn out of warm
+    // pools — must replay identically when each shard runs on its own
+    // host thread. Fault decisions are pure in (seed, id, attempt), so
+    // partitioning by id cannot change any request's fate.
+    auto cfg = threadableConfig(4);
+    cfg.requests = 600;
+    cfg.worker.poolSize = 2;
+    cfg.worker.respawnDelayNs = 50'000.0;
+    cfg.worker.requestTimeoutNs = 150'000.0;
+    cfg.worker.maxRetries = 2;
+    cfg.worker.retryBackoffNs = 10'000.0;
+    cfg.worker.faults.rate = 0.1;
+    cfg.worker.faults.stallNs = 400'000.0;
+
+    cfg.realThreads = true;
+    const auto threaded = ServeEngine(cfg, testHandler()).run();
+    EXPECT_EQ(threaded.usedThreads, 4u);
+    EXPECT_GT(threaded.robustness.exits, 0u);
+    EXPECT_GT(threaded.robustness.quarantines, 0u);
+
+    cfg.realThreads = false;
+    const auto sequential = ServeEngine(cfg, testHandler()).run();
+    EXPECT_EQ(sequential.usedThreads, 1u);
+    expectIdentical(threaded, sequential);
 }
 
 TEST(ServeThreads, NonDecomposableConfigsFallBackToSequential)
