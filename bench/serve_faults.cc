@@ -24,6 +24,8 @@
 #include <cstring>
 #include <vector>
 
+#include "core/checker.h"
+#include "obs/json_writer.h"
 #include "serve/engine.h"
 
 namespace
@@ -191,39 +193,45 @@ runSweep()
             const auto n = cell.res.robustness.exitsByReason[r];
             if (n != 0)
                 std::printf("  %-22s %6llu\n",
-                            core::exitReasonName(
+                            core::toString(
                                 static_cast<core::ExitReason>(r)),
                             static_cast<unsigned long long>(n));
         }
     }
 
-    // Deterministic JSON (virtual-clock doubles print exactly).
+    // Deterministic JSON (virtual-clock doubles print exactly), through
+    // the shared versioned writer every BENCH_*.json emitter uses.
+    obs::JsonWriter jw;
+    jw.beginObject();
+    jw.field("bench", "serve_faults");
+    jw.schemaVersion();
+    jw.field("seed", 2026);
+    jw.key("cells").beginArray();
+    for (const auto &c : cells) {
+        const auto &r = c.res.robustness;
+        jw.beginObject();
+        jw.field("scheme", schemeName(c.scheme));
+        jw.field("rate", c.rate, "%.2f");
+        jw.field("served", static_cast<std::uint64_t>(c.res.served));
+        jw.field("failed", r.failed);
+        jw.field("shed", static_cast<std::uint64_t>(c.res.shed));
+        jw.field("exits", r.exits);
+        jw.field("retries", r.retries);
+        jw.field("timeouts", r.timeouts);
+        jw.field("quarantines", r.quarantines);
+        jw.field("respawns", r.respawns);
+        jw.field("rejected", static_cast<std::uint64_t>(c.res.rejected));
+        jw.field("p50_ns", c.res.latency.p50, "%.3f");
+        jw.field("p99_ns", c.res.latency.p99, "%.3f");
+        jw.field("throughput_rps", c.res.throughputRps, "%.3f");
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
     FILE *json = std::fopen("BENCH_serve_faults.json", "w");
     if (json) {
-        std::fprintf(json, "{\n  \"bench\": \"serve_faults\",\n"
-                           "  \"seed\": 2026,\n  \"cells\": [\n");
-        for (std::size_t i = 0; i < cells.size(); ++i) {
-            const auto &c = cells[i];
-            const auto &r = c.res.robustness;
-            std::fprintf(
-                json,
-                "    {\"scheme\": \"%s\", \"rate\": %.2f, "
-                "\"served\": %zu, \"failed\": %llu, \"shed\": %zu, "
-                "\"exits\": %llu, \"retries\": %llu, \"timeouts\": %llu, "
-                "\"quarantines\": %llu, \"respawns\": %llu, "
-                "\"rejected\": %zu, \"p50_ns\": %.3f, \"p99_ns\": %.3f, "
-                "\"throughput_rps\": %.3f}%s\n",
-                schemeName(c.scheme), c.rate, c.res.served,
-                static_cast<unsigned long long>(r.failed), c.res.shed,
-                static_cast<unsigned long long>(r.exits),
-                static_cast<unsigned long long>(r.retries),
-                static_cast<unsigned long long>(r.timeouts),
-                static_cast<unsigned long long>(r.quarantines),
-                static_cast<unsigned long long>(r.respawns), c.res.rejected,
-                c.res.latency.p50, c.res.latency.p99, c.res.throughputRps,
-                i + 1 < cells.size() ? "," : "");
-        }
-        std::fprintf(json, "  ]\n}\n");
+        std::fputs(jw.str().c_str(), json);
+        std::fputc('\n', json);
         std::fclose(json);
         std::printf("\nwrote BENCH_serve_faults.json\n");
     }

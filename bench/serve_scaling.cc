@@ -26,6 +26,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/engine.h"
 
 namespace
@@ -196,6 +197,49 @@ threadedEquivalenceGate()
     return failures ? 1 : 0;
 }
 
+/**
+ * --trace [path]: run the seeded 4-core configuration with the event
+ * tracer attached and emit a Chrome/Perfetto trace-event JSON (one
+ * track per core, virtual-ns timebase). Load the file at
+ * https://ui.perfetto.dev or chrome://tracing. The run is the same
+ * threadable configuration the determinism tests pin, so the trace is
+ * bit-identical across invocations.
+ */
+int
+emitTrace(const char *path)
+{
+    auto cfg = baseConfig(4, Scheme::HfiNative);
+    cfg.workStealing = false;
+    cfg.queueCapacity = 64;
+    obs::TraceConfig tc;
+    tc.capacityPerCore = 16384;   // hold the full 1600-request run
+    tc.categories = obs::kCatAll; // include the verbose hfi transitions
+    obs::Trace trace(cfg.workers, tc);
+    cfg.trace = &trace;
+    const auto res = ServeEngine(cfg, handlerWithOps(250'000)).run();
+
+    const std::string json = trace.chromeTraceJson();
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::perror(path);
+        return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+
+    std::size_t events = 0;
+    std::uint64_t dropped = 0;
+    for (unsigned c = 0; c < trace.cores(); ++c) {
+        events += trace.buffer(c).size();
+        dropped += trace.buffer(c).dropped();
+    }
+    std::printf("served %zu requests on %u cores; wrote %s "
+                "(%zu events, %llu dropped)\n",
+                res.served, cfg.workers, path, events,
+                static_cast<unsigned long long>(dropped));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -203,6 +247,8 @@ main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "--threads") == 0)
         return threadedEquivalenceGate();
+    if (argc > 1 && std::strcmp(argv[1], "--trace") == 0)
+        return emitTrace(argc > 2 ? argv[2] : "serve_scaling.trace.json");
 
     std::printf("Serving-engine scaling: open-loop Poisson load, "
                 "per-core HFI contexts,\n1600 requests, ~80 us "

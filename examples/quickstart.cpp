@@ -80,16 +80,16 @@ main()
     std::printf("   shared page read: %s, write: %s (%s)\n",
                 rd.ok ? "allowed" : "trapped",
                 wr.ok ? "allowed" : "trapped",
-                core::exitReasonName(wr.reason));
+                core::toString(wr.reason));
 
     std::printf("\n== 4. Traps ==\n");
     ops.index = 2 << 20; // past the heap bound
     auto oob = core::AccessChecker::checkHmov(ctx, 0, ops, false);
     std::printf("   hmov0 load past the bound: trapped=%d (%s)\n", !oob.ok,
-                core::exitReasonName(oob.reason));
+                core::toString(oob.reason));
     ctx.onFault(oob.reason); // hardware delivers SIGSEGV to the runtime
     std::printf("   MSR after fault: %s; sandboxed=%d\n",
-                core::exitReasonName(ctx.readExitReasonMsr()),
+                core::toString(ctx.readExitReasonMsr()),
                 ctx.enabled());
 
     std::printf("\n== 5. Native sandbox + syscall interposition ==\n");
@@ -101,7 +101,7 @@ main()
     auto handler = ctx.onSyscall();
     std::printf("   syscall redirected to handler 0x%lx, reason: %s\n",
                 static_cast<unsigned long>(handler.value_or(0)),
-                core::exitReasonName(ctx.readExitReasonMsr()));
+                core::toString(ctx.readExitReasonMsr()));
     ctx.reenter();
     std::printf("   hfi_reenter: back in the sandbox (sandboxed=%d)\n",
                 ctx.enabled());

@@ -19,6 +19,11 @@ MAX_REGRESSION = 0.25  # host-noise band; see module docstring
 
 KEYS = ["functional_geomean_ips", "pipeline_geomean_ips"]
 
+# Layout version every emitter stamps via obs::JsonWriter. A fresh file
+# without it (or with a different one) means the bench and this gate
+# have drifted apart — fail loudly rather than comparing blind.
+EXPECTED_SCHEMA_VERSION = 2
+
 
 def main() -> int:
     if len(sys.argv) != 3:
@@ -30,6 +35,15 @@ def main() -> int:
         fresh = json.load(f)
 
     failed = False
+    schema = fresh.get("schema_version")
+    if schema != EXPECTED_SCHEMA_VERSION:
+        print(
+            f"schema_version: expected {EXPECTED_SCHEMA_VERSION}, "
+            f"fresh file has {schema!r} FAIL"
+        )
+        failed = True
+    else:
+        print(f"schema_version: {schema} OK")
     for key in KEYS:
         base = baseline.get(key)
         now = fresh.get(key)

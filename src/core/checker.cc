@@ -3,6 +3,27 @@
 namespace hfi::core
 {
 
+const char *
+toString(ExitReason reason)
+{
+    switch (reason) {
+      case ExitReason::None: return "none";
+      case ExitReason::HfiExit: return "hfi_exit";
+      case ExitReason::Syscall: return "syscall";
+      case ExitReason::DataBoundsViolation: return "data-bounds-violation";
+      case ExitReason::CodeBoundsViolation: return "code-bounds-violation";
+      case ExitReason::PermissionViolation: return "permission-violation";
+      case ExitReason::HmovBoundsViolation: return "hmov-bounds-violation";
+      case ExitReason::HmovNegativeOperand: return "hmov-negative-operand";
+      case ExitReason::HmovOverflow: return "hmov-overflow";
+      case ExitReason::HmovEmptyRegion: return "hmov-empty-region";
+      case ExitReason::HardwareFault: return "hardware-fault";
+      case ExitReason::IllegalRegionUpdate: return "illegal-region-update";
+      case ExitReason::IllegalXrstor: return "illegal-xrstor";
+    }
+    return "unknown";
+}
+
 HmovResult
 AccessChecker::checkHmovNaive(const HfiRegisterFile &bank,
                               unsigned explicit_index,

@@ -28,6 +28,12 @@
 namespace hfi::core
 {
 
+/**
+ * Human-readable name for an ExitReason — the one spelling shared by
+ * worker stats, the serve_faults bench, trace labels, and tests.
+ */
+const char *toString(ExitReason reason);
+
 /** Outcome of a checked memory operation. */
 struct CheckResult
 {

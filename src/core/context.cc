@@ -1,28 +1,9 @@
 #include "core/context.h"
 
+#include "core/checker.h"
+
 namespace hfi::core
 {
-
-const char *
-exitReasonName(ExitReason reason)
-{
-    switch (reason) {
-      case ExitReason::None: return "none";
-      case ExitReason::HfiExit: return "hfi_exit";
-      case ExitReason::Syscall: return "syscall";
-      case ExitReason::DataBoundsViolation: return "data-bounds-violation";
-      case ExitReason::CodeBoundsViolation: return "code-bounds-violation";
-      case ExitReason::PermissionViolation: return "permission-violation";
-      case ExitReason::HmovBoundsViolation: return "hmov-bounds-violation";
-      case ExitReason::HmovNegativeOperand: return "hmov-negative-operand";
-      case ExitReason::HmovOverflow: return "hmov-overflow";
-      case ExitReason::HmovEmptyRegion: return "hmov-empty-region";
-      case ExitReason::HardwareFault: return "hardware-fault";
-      case ExitReason::IllegalRegionUpdate: return "illegal-region-update";
-      case ExitReason::IllegalXrstor: return "illegal-xrstor";
-    }
-    return "unknown";
-}
 
 HfiContext::HfiContext(vm::VirtualClock &clock, HfiCostParams costs)
     : clock_(clock), costs_(costs)
@@ -80,6 +61,7 @@ HfiContext::setRegion(unsigned n, const Region &region)
     }
     bank.setRegion(n, region);
     ++stats_.regionUpdates;
+    HFI_OBS_RECORD(trace_, obs::EventType::RegionSet, clock_.nowNsFast(), n);
     return HfiResult::Ok;
 }
 
@@ -104,6 +86,7 @@ HfiContext::clearRegion(unsigned n)
     }
     bank.setRegion(n, EmptyRegion{});
     ++stats_.regionUpdates;
+    HFI_OBS_RECORD(trace_, obs::EventType::RegionClear, clock_.nowNsFast(), n);
     return HfiResult::Ok;
 }
 
@@ -118,6 +101,8 @@ HfiContext::clearAllRegions()
     for (unsigned r = 0; r < kNumRegions; ++r)
         bank.setRegion(r, EmptyRegion{});
     ++stats_.regionUpdates;
+    HFI_OBS_RECORD(trace_, obs::EventType::RegionClear, clock_.nowNsFast(),
+                   kNumRegions);
     return HfiResult::Ok;
 }
 
@@ -142,6 +127,8 @@ HfiContext::enter(const SandboxConfig &config)
     lastConfig = config;
     lastConfigValid = true;
     ++stats_.enters;
+    HFI_OBS_RECORD(trace_, obs::EventType::HfiEnter, clock_.nowNsFast(),
+                   config.isHybrid, config.switchOnExit);
     return HfiResult::Ok;
 }
 
@@ -162,6 +149,7 @@ HfiContext::exit()
         ++stats_.bankSwitches;
         msrExitReason = ExitReason::HfiExit;
         lastExitSwitched_ = true;
+        HFI_OBS_RECORD(trace_, obs::EventType::HfiExit, clock_.nowNsFast(), 0, 1);
         return 0;
     }
 
@@ -174,8 +162,11 @@ HfiContext::exit()
     // Native sandboxes always transfer control to the installed exit
     // handler; hybrid exits fall through to the code after hfi_exit
     // unless a handler was explicitly installed (§3.3.2).
-    return was_native || bank.config.exitHandler ? bank.config.exitHandler
-                                                 : 0;
+    const VAddr handler =
+        was_native || bank.config.exitHandler ? bank.config.exitHandler : 0;
+    HFI_OBS_RECORD(trace_, obs::EventType::HfiExit, clock_.nowNsFast(), handler,
+                   0);
+    return handler;
 }
 
 HfiResult
@@ -205,6 +196,8 @@ HfiContext::onSyscall()
     bank.enabled = false;
     msrExitReason = ExitReason::Syscall;
     ++stats_.syscallRedirects;
+    HFI_OBS_RECORD(trace_, obs::EventType::SyscallRedirect, clock_.nowNsFast(),
+                   bank.config.exitHandler);
     return bank.config.exitHandler;
 }
 
@@ -215,6 +208,8 @@ HfiContext::onFault(ExitReason reason)
     shadowValid = false;
     msrExitReason = reason;
     ++stats_.faults;
+    HFI_OBS_RECORD(trace_, obs::EventType::HfiFault, clock_.nowNsFast(),
+                   static_cast<std::uint64_t>(reason));
 }
 
 ExitReason
@@ -250,6 +245,8 @@ HfiContext::kernelXrstor(const HfiRegisterFile &file)
 {
     charge(costs_.xrstorHfiCycles);
     bank = file;
+    HFI_OBS_RECORD(trace_, obs::EventType::KernelXrstor, clock_.nowNsFast(),
+                   file.enabled);
 }
 
 } // namespace hfi::core

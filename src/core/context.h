@@ -29,6 +29,7 @@
 
 #include "core/cost_model.h"
 #include "core/region.h"
+#include "obs/trace.h"
 #include "vm/virtual_clock.h"
 
 namespace hfi::core
@@ -59,9 +60,6 @@ enum class ExitReason : std::uint8_t
 /** Number of ExitReason values (for per-reason accounting arrays). */
 constexpr unsigned kNumExitReasons =
     static_cast<unsigned>(ExitReason::IllegalXrstor) + 1;
-
-/** Human-readable name for an ExitReason (for logs and gtest output). */
-const char *exitReasonName(ExitReason reason);
 
 /**
  * Parameters of hfi_enter — the paper's sandbox_t (appendix A.1).
@@ -269,6 +267,15 @@ class HfiContext
 
     const Stats &stats() const { return stats_; }
 
+    /**
+     * Attach this core's trace ring (nullptr detaches). Instruction
+     * implementations record HfiEnter/HfiExit/HfiFault/SyscallRedirect/
+     * KernelXrstor and region-update events stamped on the core's
+     * VirtualClock; compiled out entirely under HFI_OBS=OFF.
+     */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
+    obs::TraceBuffer *trace() const { return trace_; }
+
   private:
     /** True when region registers are locked (native sandbox active). */
     bool regionsLocked() const { return bank.enabled && !bank.config.isHybrid; }
@@ -291,6 +298,8 @@ class HfiContext
 
     ExitReason msrExitReason = ExitReason::None;
     bool lastExitSwitched_ = false;
+
+    obs::TraceBuffer *trace_ = nullptr;
 
     Stats stats_;
 };

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The compile-time gate for observability instrumentation.
+ *
+ * Every trace-record call site in the instrumented subsystems goes
+ * through HFI_OBS_RECORD / HFI_OBS_STMT. When the build sets
+ * HFI_OBS_ENABLED=0 (`cmake -DHFI_OBS=OFF`), both expand to nothing:
+ * the instrumented binaries carry zero observability code, and the
+ * obs types referenced only from those call sites are never touched.
+ * The default (ON) build keeps the calls, which are themselves
+ * runtime-gated: a null sink pointer or a masked-out category costs
+ * one predictable branch.
+ */
+
+#ifndef HFI_OBS_OBS_GATE_H
+#define HFI_OBS_OBS_GATE_H
+
+#ifndef HFI_OBS_ENABLED
+#define HFI_OBS_ENABLED 1
+#endif
+
+#if HFI_OBS_ENABLED
+
+/** Record an event through a (possibly null) TraceBuffer pointer. */
+#define HFI_OBS_RECORD(buf, ...)                                             \
+    do {                                                                     \
+        if (buf)                                                             \
+            (buf)->record(__VA_ARGS__);                                      \
+    } while (0)
+
+/** Execute the statement only when instrumentation is compiled in. */
+#define HFI_OBS_STMT(...)                                                    \
+    do {                                                                     \
+        __VA_ARGS__;                                                         \
+    } while (0)
+
+#else
+
+#define HFI_OBS_RECORD(buf, ...) ((void)0)
+#define HFI_OBS_STMT(...) ((void)0)
+
+#endif // HFI_OBS_ENABLED
+
+#endif // HFI_OBS_OBS_GATE_H

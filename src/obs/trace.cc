@@ -1,0 +1,167 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace hfi::obs
+{
+
+const char *
+toString(EventType type)
+{
+    switch (type) {
+      case EventType::SandboxEnter: return "sandbox-enter";
+      case EventType::SandboxExit: return "sandbox-exit";
+      case EventType::WatchdogTimeout: return "watchdog-timeout";
+      case EventType::HfiEnter: return "hfi-enter";
+      case EventType::HfiExit: return "hfi-exit";
+      case EventType::HfiFault: return "hfi-fault";
+      case EventType::SyscallRedirect: return "syscall-redirect";
+      case EventType::KernelXrstor: return "kernel-xrstor";
+      case EventType::RegionSet: return "region-set";
+      case EventType::RegionClear: return "region-clear";
+      case EventType::RegionRebind: return "region-rebind";
+      case EventType::ContextSwitch: return "context-switch";
+      case EventType::SignalDeliver: return "signal-deliver";
+      case EventType::QueuePush: return "queue-push";
+      case EventType::QueuePop: return "queue-pop";
+      case EventType::QueueSteal: return "queue-steal";
+      case EventType::QueueShed: return "queue-shed";
+      case EventType::FaultInject: return "fault-inject";
+      case EventType::Retry: return "retry";
+      case EventType::Quarantine: return "quarantine";
+      case EventType::Respawn: return "respawn";
+      case EventType::PoolWait: return "pool-wait";
+    }
+    return "unknown";
+}
+
+Trace::Trace(unsigned cores, TraceConfig config) : config_(std::move(config))
+{
+    buffers_.resize(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        buffers_[c].init(c, config_.capacityPerCore, config_.categories);
+}
+
+std::vector<MergedEvent>
+Trace::merged() const
+{
+    std::vector<MergedEvent> all;
+    std::size_t total = 0;
+    for (const auto &b : buffers_)
+        total += b.size();
+    all.reserve(total);
+    // Concatenate in core order, each ring oldest-first, then stable-
+    // sort by (timestamp, core). Per-core emission order survives ties,
+    // so the merged sequence is a pure function of the per-core
+    // streams — the property the sequential-vs-threaded byte-identity
+    // test pins.
+    for (const auto &b : buffers_)
+        for (std::size_t i = 0; i < b.size(); ++i)
+            all.push_back({b.at(i), b.core()});
+    std::stable_sort(all.begin(), all.end(),
+                     [](const MergedEvent &x, const MergedEvent &y) {
+                         if (x.event.tsNs != y.event.tsNs)
+                             return x.event.tsNs < y.event.tsNs;
+                         return x.core < y.core;
+                     });
+    return all;
+}
+
+std::string
+Trace::chromeTraceJson() const
+{
+    // Chrome trace-event format: {"traceEvents": [...]}, timestamps in
+    // microseconds. One track (tid) per core under one process.
+    // SandboxEnter/SandboxExit map to B/E duration spans so Perfetto
+    // renders each request's service interval; everything else is a
+    // thread-scoped instant.
+    JsonWriter w;
+    w.beginObject();
+    w.schemaVersion();
+    w.field("displayTimeUnit", "ns");
+    w.key("traceEvents").beginArray();
+    for (const MergedEvent &m : merged()) {
+        const Event &e = m.event;
+        w.beginObject();
+        const bool begin = e.type == EventType::SandboxEnter;
+        const bool end = e.type == EventType::SandboxExit;
+        w.field("name", begin || end ? "request" : toString(e.type));
+        switch (categoryOf(e.type)) {
+          case kCatSandbox: w.field("cat", "sandbox"); break;
+          case kCatHfi:
+          case kCatHfiVerbose: w.field("cat", "hfi"); break;
+          case kCatRegion: w.field("cat", "region"); break;
+          case kCatSched: w.field("cat", "sched"); break;
+          case kCatQueue: w.field("cat", "queue"); break;
+          default: w.field("cat", "fault"); break;
+        }
+        w.field("ph", begin ? "B" : end ? "E" : "i");
+        w.field("ts", e.tsNs / 1e3, "%.3f");
+        w.field("pid", 0);
+        w.field("tid", static_cast<std::uint64_t>(m.core));
+        if (!begin && !end)
+            w.field("s", "t");
+        w.key("args").beginObject();
+        w.field("a", e.a);
+        w.field("b", e.b);
+        if (const char *lbl = label(e))
+            w.field("label", lbl);
+        if (end)
+            w.field("event", toString(e.type));
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::string out = w.str();
+    out += '\n';
+    return out;
+}
+
+bool
+Trace::flightDump(const char *reason)
+{
+    triggers_.fetch_add(1, std::memory_order_relaxed);
+    bool expected = false;
+    if (!fired_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel))
+        return false;
+
+    std::string &r = report_;
+    r += "=== HFI flight recorder: ";
+    r += reason;
+    r += " ===\n";
+    char line[192];
+    for (const auto &b : buffers_) {
+        std::snprintf(line, sizeof line,
+                      "core %u: %zu event(s), %" PRIu64 " dropped\n",
+                      b.core(), b.size(), b.dropped());
+        r += line;
+        const std::size_t n = std::min(b.size(), config_.flightLastN);
+        for (std::size_t i = b.size() - n; i < b.size(); ++i) {
+            const Event &e = b.at(i);
+            const char *lbl = label(e);
+            std::snprintf(line, sizeof line,
+                          "  [%14.3f ns] %-18s a=%" PRIu64 " b=%" PRIu64
+                          "%s%s\n",
+                          e.tsNs, toString(e.type), e.a, e.b,
+                          lbl ? " " : "", lbl ? lbl : "");
+            r += line;
+        }
+    }
+
+    std::fputs(r.c_str(), stderr);
+    if (!config_.flightPath.empty()) {
+        if (FILE *f = std::fopen(config_.flightPath.c_str(), "w")) {
+            std::fputs(r.c_str(), f);
+            std::fclose(f);
+        }
+    }
+    return true;
+}
+
+} // namespace hfi::obs

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The deterministic event tracer: one fixed-capacity ring buffer per
+ * simulated core, merged by virtual timestamp into a Chrome/Perfetto
+ * trace, plus a latched flight recorder for post-mortem dumps.
+ *
+ * Design constraints, in order:
+ *
+ *  1. *Determinism.* Events are stamped on virtual time and stored in
+ *     emission order per core. The merged view is a stable sort by
+ *     (timestamp, core), so two runs of the same seed — sequential or
+ *     one-host-thread-per-core — serialize to byte-identical JSON.
+ *  2. *Thread safety by construction.* Each core's ring is written only
+ *     by the host thread driving that core (the engine guarantees
+ *     this), so recording takes no locks. The only cross-thread state
+ *     is the flight recorder's fire-once latch, which is atomic.
+ *  3. *Bounded cost.* A ring never allocates after construction;
+ *     overflow drops the *oldest* event and counts the drop. Recording
+ *     is a branch, a few stores, and a wrapping increment.
+ */
+
+#ifndef HFI_OBS_TRACE_H
+#define HFI_OBS_TRACE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/obs_gate.h"
+
+namespace hfi::obs
+{
+
+struct TraceConfig
+{
+    /** Ring capacity per core, in events. The default is sized for the
+        flight recorder (4x flightLastN) and, at ~10 KiB per core,
+        stays L1-resident so always-on recording does not wash the
+        instrumented code's working set out of the cache — the
+        trace_overhead gate is calibrated against it. Full-trace
+        consumers (exporters, the determinism tests) raise it
+        explicitly. Rounded up to a power of two. */
+    std::size_t capacityPerCore = 256;
+    /** Bitmask of Category values recorded; others are dropped free.
+        The default records everything except kCatHfiVerbose. */
+    std::uint32_t categories = kCatDefault;
+    /** How many trailing events per core a flight dump includes. */
+    std::size_t flightLastN = 64;
+    /** Fire the flight recorder on the first watchdog timeout. */
+    bool flightOnWatchdog = true;
+    /** Flight-recorder dump file ("" = stderr only). */
+    std::string flightPath;
+};
+
+/**
+ * One core's event ring. Written by exactly one thread; read only
+ * after the run (or by the flight recorder on that same thread).
+ */
+class TraceBuffer
+{
+  public:
+    TraceBuffer() = default;
+
+    /** @p capacity is rounded up to a power of two (zero disables the
+        ring entirely by masking every category out). */
+    void
+    init(unsigned core, std::size_t capacity, std::uint32_t categories)
+    {
+        core_ = core;
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        categories_ = capacity == 0 ? 0u : categories;
+        cap_ = capacity == 0 ? 0 : cap;
+        ring_.assign(cap_, Event{});
+        mask_ = cap_ == 0 ? 0 : cap_ - 1;
+        writes_ = 0;
+    }
+
+    /** Append an event; drops the oldest when the ring is full.
+        Hot path (the trace_overhead gate keys on every piece of this):
+        a single monotone write index masked by the power-of-two
+        capacity, so recording is one predictable branch, a 32-byte
+        aligned cacheable store, and an increment — occupancy, head and
+        drop count are all derived from the index at read time, never
+        maintained here. (Non-temporal streaming stores were measured
+        3x worse on virtualized hosts, where partial write-combining
+        evictions go to memory at uncached cost.) */
+    void
+    record(EventType type, double ts_ns, std::uint64_t a = 0,
+           std::uint64_t b = 0)
+    {
+        if ((categories_ & categoryOf(type)) == 0)
+            return;
+        ring_[static_cast<std::size_t>(writes_) & mask_] =
+            Event{ts_ns, a, b, type};
+        ++writes_;
+    }
+
+    unsigned core() const { return core_; }
+    std::size_t size() const
+    {
+        return writes_ < cap_ ? static_cast<std::size_t>(writes_) : cap_;
+    }
+    std::size_t capacity() const { return cap_; }
+    /** Events lost to overflow (oldest-first eviction). */
+    std::uint64_t dropped() const
+    {
+        return writes_ > cap_ ? writes_ - cap_ : 0;
+    }
+
+    /** Event @p i, oldest first. */
+    const Event &at(std::size_t i) const
+    {
+        // When the ring has wrapped, the slot about to be overwritten
+        // (writes_ & mask_) holds the oldest retained event.
+        const std::size_t head =
+            writes_ > cap_ ? static_cast<std::size_t>(writes_) & mask_ : 0;
+        return ring_[(head + i) & mask_];
+    }
+
+  private:
+    std::vector<Event> ring_;
+    std::size_t cap_ = 0;
+    std::size_t mask_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint32_t categories_ = kCatDefault;
+    unsigned core_ = 0;
+};
+
+/** An event tagged with its core, in merged order. */
+struct MergedEvent
+{
+    Event event{};
+    unsigned core = 0;
+};
+
+/**
+ * The whole trace: per-core rings plus the flight recorder.
+ *
+ * Owned by the caller (bench/test) and attached to an engine run via
+ * EngineConfig::trace; the engine hands each worker its core's ring.
+ */
+class Trace
+{
+  public:
+    explicit Trace(unsigned cores, TraceConfig config = {});
+
+    TraceBuffer &buffer(unsigned core) { return buffers_[core]; }
+    const TraceBuffer &buffer(unsigned core) const { return buffers_[core]; }
+    unsigned cores() const { return static_cast<unsigned>(buffers_.size()); }
+    const TraceConfig &config() const { return config_; }
+
+    /**
+     * Export-time label resolution. Events store only their generic
+     * arguments; an instrumented layer that wants its enum spelled out
+     * in exports (e.g. the ExitReason behind a SandboxExit) registers
+     * a resolver for that event type — called by the exporters and the
+     * flight recorder, never on the record hot path. The returned
+     * pointer must have static storage. @{
+     */
+    using Labeler = const char *(*)(const Event &);
+
+    void
+    setLabeler(EventType type, Labeler fn)
+    {
+        labelers_[static_cast<unsigned>(type)] = fn;
+    }
+
+    const char *
+    label(const Event &event) const
+    {
+        const Labeler fn = labelers_[static_cast<unsigned>(event.type)];
+        return fn ? fn(event) : nullptr;
+    }
+    /** @} */
+
+    /**
+     * All events merged by (virtual timestamp, core index); within a
+     * tie on both, per-core emission order is preserved (stable sort).
+     * This is the canonical order every exporter serializes.
+     */
+    std::vector<MergedEvent> merged() const;
+
+    /**
+     * Chrome trace-event JSON (loadable in Perfetto or
+     * chrome://tracing): one track (tid) per core, virtual-ns timebase
+     * expressed in the format's microsecond unit. SandboxEnter/Exit
+     * become duration (B/E) spans; everything else an instant.
+     * Byte-identical for byte-identical event streams.
+     */
+    std::string chromeTraceJson() const;
+
+    /**
+     * Fire the flight recorder: dump the last flightLastN events of
+     * every core (plus drop counts) to stderr and, when configured, to
+     * TraceConfig::flightPath. Latched — only the first trigger dumps;
+     * later calls (from any thread) are counted but silent.
+     *
+     * @return true when this call performed the dump.
+     */
+    bool flightDump(const char *reason);
+
+    /** Times flightDump was called (first one fired the dump). */
+    std::uint64_t flightTriggers() const
+    {
+        return triggers_.load(std::memory_order_relaxed);
+    }
+
+    /** True once the dump has fired. */
+    bool flightFired() const
+    {
+        return fired_.load(std::memory_order_relaxed);
+    }
+
+    /** The text of the dump that fired ("" until then; for tests). */
+    const std::string &flightReport() const { return report_; }
+
+  private:
+    TraceConfig config_;
+    std::vector<TraceBuffer> buffers_;
+    Labeler labelers_[kNumEventTypes] = {};
+    std::atomic<std::uint64_t> triggers_{0};
+    std::atomic<bool> fired_{false};
+    std::string report_;
+};
+
+} // namespace hfi::obs
+
+#endif // HFI_OBS_TRACE_H

@@ -30,6 +30,9 @@ Scheduler::switchTo(int pid)
         return false;
     auto &clock = ctx.clock();
     clock.tick(clock.nsToCycles(costs_.contextSwitchNs));
+    HFI_OBS_RECORD(trace_, obs::EventType::ContextSwitch, clock.nowNsFast(),
+                   static_cast<std::uint64_t>(current),
+                   static_cast<std::uint64_t>(pid));
 
     if (costs_.saveHfiRegs) {
         // xsave with save-hfi-regs: capture the outgoing process's HFI
@@ -58,6 +61,8 @@ Scheduler::deliverFault(int pid)
     auto &clock = ctx.clock();
     clock.tick(clock.nsToCycles(costs_.signalDeliveryNs));
     ++signalsDelivered_;
+    HFI_OBS_RECORD(trace_, obs::EventType::SignalDeliver, clock.nowNsFast(),
+                   static_cast<std::uint64_t>(pid));
     return switchTo(pid);
 }
 

@@ -100,6 +100,13 @@ class Scheduler
 
     core::HfiContext &context() { return ctx; }
 
+    /**
+     * Attach this core's trace ring: switchTo records ContextSwitch
+     * (outgoing pid, incoming pid), deliverFault records SignalDeliver.
+     * The underlying kernelXrstor is traced by the HfiContext itself.
+     */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
+
   private:
     core::HfiContext &ctx;
     SchedulerCosts costs_;
@@ -107,6 +114,7 @@ class Scheduler
     int current = -1;
     std::uint64_t totalSwitches_ = 0;
     std::uint64_t signalsDelivered_ = 0;
+    obs::TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace hfi::os

@@ -13,6 +13,30 @@ ServeEngine::ServeEngine(EngineConfig config, Handler handler)
 {
 }
 
+/**
+ * Fill the ServeResult scalar fields from the merged registry. Counter
+ * sums are order-independent uint64 additions, so these views are
+ * bit-identical to the manual per-field merging they replaced — in both
+ * the sequential and the threaded driver, which now share this one
+ * reduction.
+ */
+static void
+deriveFromMetrics(ServeResult &res)
+{
+    const obs::MetricsRegistry &m = res.metrics;
+    res.served = static_cast<std::size_t>(m.counter("serve.served"));
+    res.shed = static_cast<std::size_t>(m.counter("serve.shed"));
+    res.rejected = static_cast<std::size_t>(m.counter("serve.rejected"));
+    res.stolen = static_cast<std::size_t>(m.counter("serve.stolen"));
+    res.maxQueueDepth =
+        static_cast<std::size_t>(m.gauge("serve.max_queue_depth"));
+    res.contextSwitches = m.counter("serve.context_switches");
+    res.preemptions = m.counter("serve.preemptions");
+    res.instancesCreated = m.counter("serve.instances_created");
+    res.reclaimBatches = m.counter("serve.reclaim_batches");
+    res.hfiStateMismatches = m.counter("serve.hfi_state_mismatches");
+}
+
 bool
 ServeEngine::threadable(const EngineConfig &config)
 {
@@ -87,15 +111,11 @@ ServeEngine::runThreaded()
     res.perCore.resize(n);
     for (unsigned w = 0; w < n; ++w) {
         const ServeResult &s = sub[w];
-        res.served += s.served;
-        res.rejected += s.rejected;
-        res.stolen += s.stolen;
-        res.maxQueueDepth = std::max(res.maxQueueDepth, s.maxQueueDepth);
-        res.contextSwitches += s.contextSwitches;
-        res.preemptions += s.preemptions;
-        res.instancesCreated += s.instancesCreated;
-        res.reclaimBatches += s.reclaimBatches;
-        res.hfiStateMismatches += s.hfiStateMismatches;
+        // Same single typed merge the sequential driver uses: each
+        // sub-run's registry (counters sum, gauges max) carries every
+        // scalar the result's view fields need — including per-shard
+        // shed, the one source of truth, with no double counting.
+        res.metrics.merge(s.metrics);
         res.latencies.merge(s.latencies);
         res.durationNs = std::max(res.durationNs, s.durationNs);
         // Each sub-run drove one worker over one shard: its per-core
@@ -104,12 +124,7 @@ ServeEngine::runThreaded()
                                            : s.perCore[0];
         res.robustness.merge(res.perCore[w]);
     }
-    // Shed is derived the same way the sequential driver derives it:
-    // the sum of the per-shard admission counters (one source of truth,
-    // no double counting against a global).
-    res.shed = 0;
-    for (const auto &core : res.perCore)
-        res.shed += core.shed;
+    deriveFromMetrics(res);
     res.throughputRps = res.latencies.throughput(res.durationNs);
     res.meanLatencyNs = res.latencies.mean();
     res.latency = res.latencies.percentiles();
@@ -143,6 +158,16 @@ ServeEngine::drive(std::vector<std::unique_ptr<Worker>> &workers,
     const unsigned n = static_cast<unsigned>(workers.size());
     ShardedQueues queues(n, config.queueCapacity);
     std::size_t stolen = 0;
+
+    // Wire the trace: worker w (and its HfiContext/Scheduler) records
+    // into the ring of its *global* core index, and so does queue shard
+    // w — in the threaded driver this sub-run drives one worker whose
+    // index is the core, so the per-core streams come out identical to
+    // the sequential run's.
+    HFI_OBS_STMT(if (config.trace) for (unsigned w = 0; w < n; ++w) {
+        workers[w]->attachTrace(config.trace);
+        queues.setTrace(w, &config.trace->buffer(workers[w]->index()));
+    });
 
     std::optional<Request> staged = source.next();
 
@@ -188,6 +213,16 @@ ServeEngine::drive(std::vector<std::unique_ptr<Worker>> &workers,
         const Request req = queues.take(static_cast<unsigned>(bestShard));
         if (bestShard != bestWorker)
             ++stolen;
+        // Pop/steal are acts of the serving core: they go to *its* ring
+        // (a steal names the victim core in b), stamped at the service
+        // start the event loop computed.
+        HFI_OBS_STMT(if (config.trace) config.trace
+                         ->buffer(workers[bestWorker]->index())
+                         .record(bestShard != bestWorker
+                                     ? obs::EventType::QueueSteal
+                                     : obs::EventType::QueuePop,
+                                 bestStart, req.id,
+                                 workers[bestShard]->index()));
         const auto outcome = workers[bestWorker]->serve(req);
         // A request that exhausted its retries still produced an error
         // response, so a closed-loop client unblocks either way.
@@ -199,19 +234,17 @@ ServeEngine::drive(std::vector<std::unique_ptr<Worker>> &workers,
     }
 
     ServeResult res;
-    res.stolen = stolen;
-    res.maxQueueDepth = queues.maxDepth();
     res.perCore.resize(n);
     double lastFree = start_ns;
     for (unsigned w = 0; w < n; ++w) {
-        const auto &stats = workers[w]->stats();
-        res.served += stats.served;
-        res.rejected += stats.rejected;
-        res.preemptions += stats.preemptions;
-        res.instancesCreated += stats.instancesCreated;
-        res.reclaimBatches += stats.reclaimBatches;
-        res.hfiStateMismatches += stats.hfiStateMismatches;
-        res.contextSwitches += workers[w]->contextSwitches();
+        // One typed merge per worker: the worker exports its plain
+        // counters into a registry (plus this shard's admission shed)
+        // and the engine folds registries — no per-field summing here.
+        obs::MetricsRegistry wm;
+        workers[w]->exportMetrics(wm);
+        wm.counterAdd("serve.shed", queues.shedCount(w));
+        res.metrics.merge(wm);
+
         res.latencies.merge(workers[w]->latencies());
         lastFree = std::max(lastFree, workers[w]->freeNs());
 
@@ -219,13 +252,14 @@ ServeEngine::drive(std::vector<std::unique_ptr<Worker>> &workers,
         // the one source of truth the engine-wide total sums (the
         // threaded merge derives it the same way, so sequential and
         // threaded shed always agree).
-        res.perCore[w] = stats.robustness;
+        res.perCore[w] = workers[w]->stats().robustness;
         res.perCore[w].shed = queues.shedCount(w);
         res.robustness.merge(res.perCore[w]);
     }
-    res.shed = 0;
-    for (const auto &core : res.perCore)
-        res.shed += core.shed;
+    res.metrics.counterAdd("serve.stolen", stolen);
+    res.metrics.gaugeSet("serve.max_queue_depth", queues.maxDepth());
+
+    deriveFromMetrics(res);
     res.durationNs = lastFree - start_ns;
     res.throughputRps = res.latencies.throughput(res.durationNs);
     res.meanLatencyNs = res.latencies.mean();

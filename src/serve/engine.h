@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "faas/latency.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/load_gen.h"
 #include "serve/request.h"
 #include "serve/worker.h"
@@ -94,6 +96,16 @@ struct EngineConfig
      */
     bool realThreads = false;
 
+    /**
+     * Caller-owned event trace (nullptr = tracing off). Must be built
+     * with cores() >= workers; each worker records into the ring of its
+     * core index (single-writer even in realThreads mode), the queue
+     * shards record admissions into their owning core's ring, and the
+     * HfiContext/Scheduler of every core are wired to the same ring.
+     * Ignored when HFI_OBS=OFF compiled the record sites away.
+     */
+    obs::Trace *trace = nullptr;
+
     /** Per-worker knobs (scheme, pool, scheduler, quantum). */
     WorkerConfig worker{};
 };
@@ -137,6 +149,15 @@ struct ServeResult
 
     /** Merged per-request latencies (service order), for tests. */
     faas::LatencyRecorder latencies{};
+
+    /**
+     * The engine-wide metrics registry every worker exported into —
+     * the single typed merge both drivers share. The scalar fields
+     * above are views derived from it (counter sums are order-
+     * independent, so they are bit-identical to the historical manual
+     * merging); this carries the full breakdown for exporters.
+     */
+    obs::MetricsRegistry metrics{};
 };
 
 class ServeEngine

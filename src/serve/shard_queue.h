@@ -20,6 +20,7 @@
 #include <deque>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/request.h"
 
 namespace hfi::serve
@@ -30,8 +31,20 @@ class ShardedQueues
   public:
     /** @p capacity bounds each shard's depth; 0 means unbounded. */
     ShardedQueues(unsigned shards, std::size_t capacity)
-        : queues(shards), shedPerShard_(shards, 0), capacity_(capacity)
+        : queues(shards), shedPerShard_(shards, 0),
+          traceBufs_(shards, nullptr), capacity_(capacity)
     {
+    }
+
+    /**
+     * Attach @p shard's owning core's trace ring: admissions record
+     * QueuePush/QueueShed stamped at the request's arrival time, into
+     * the shard's — i.e. that core's — buffer, so the per-core event
+     * streams are identical in the sequential and the threaded driver.
+     */
+    void setTrace(unsigned shard, obs::TraceBuffer *buf)
+    {
+        traceBufs_[shard] = buf;
     }
 
     /** Admit @p req to @p shard. @return false when the shard is full. */
@@ -41,10 +54,16 @@ class ShardedQueues
         auto &q = queues[shard];
         if (capacity_ != 0 && q.size() >= capacity_) {
             ++shedPerShard_[shard];
+            HFI_OBS_RECORD(traceBufs_[shard], obs::EventType::QueueShed,
+                           req.arrivalNs, req.id,
+                           traceBufs_[shard] ? traceBufs_[shard]->core() : 0);
             return false;
         }
         q.push_back(req);
         maxDepth_ = std::max(maxDepth_, q.size());
+        HFI_OBS_RECORD(traceBufs_[shard], obs::EventType::QueuePush,
+                       req.arrivalNs, req.id,
+                       traceBufs_[shard] ? traceBufs_[shard]->core() : 0);
         return true;
     }
 
@@ -116,6 +135,7 @@ class ShardedQueues
   private:
     std::vector<std::deque<Request>> queues;
     std::vector<std::size_t> shedPerShard_;
+    std::vector<obs::TraceBuffer *> traceBufs_;
     std::size_t capacity_;
     std::size_t maxDepth_ = 0;
 };

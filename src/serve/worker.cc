@@ -1,6 +1,9 @@
 #include "serve/worker.h"
 
 #include <algorithm>
+#include <string>
+
+#include "core/checker.h"
 
 namespace hfi::serve
 {
@@ -66,6 +69,61 @@ Worker::Worker(unsigned index, const WorkerConfig &config,
     if (config_.faults.rate > 0)
         injector_.emplace(config_.faults, engine_seed);
     freeNs_ = clock_->nowNs();
+}
+
+void
+Worker::attachTrace(obs::Trace *trace)
+{
+    engineTrace_ = trace;
+    trace_ = trace && index_ < trace->cores() ? &trace->buffer(index_)
+                                              : nullptr;
+    ctx_->setTrace(trace_);
+    if (sched_)
+        sched_->setTrace(trace_);
+    if (!trace)
+        return;
+    // Export-time labelers: events store raw enum values; these spell
+    // them out in trace JSON and flight dumps (obs itself cannot name
+    // the serve/core enums — it sits below both).
+    trace->setLabeler(obs::EventType::SandboxExit, [](const obs::Event &e) {
+        return core::toString(static_cast<core::ExitReason>(e.b));
+    });
+    trace->setLabeler(obs::EventType::HfiFault, [](const obs::Event &e) {
+        return core::toString(static_cast<core::ExitReason>(e.a));
+    });
+    trace->setLabeler(obs::EventType::FaultInject, [](const obs::Event &e) {
+        return faultKindName(static_cast<FaultKind>(e.b));
+    });
+}
+
+void
+Worker::exportMetrics(obs::MetricsRegistry &m) const
+{
+    m.counterAdd("serve.served", stats_.served);
+    m.counterAdd("serve.rejected", stats_.rejected);
+    m.counterAdd("serve.preemptions", stats_.preemptions);
+    m.counterAdd("serve.instances_created", stats_.instancesCreated);
+    m.counterAdd("serve.reclaim_batches", stats_.reclaimBatches);
+    m.counterAdd("serve.hfi_state_mismatches", stats_.hfiStateMismatches);
+    m.counterAdd("serve.context_switches", contextSwitches());
+
+    const RobustnessStats &r = stats_.robustness;
+    m.counterAdd("robust.faults_injected", r.faultsInjected);
+    m.counterAdd("robust.exits", r.exits);
+    m.counterAdd("robust.retries", r.retries);
+    m.counterAdd("robust.timeouts", r.timeouts);
+    m.counterAdd("robust.quarantines", r.quarantines);
+    m.counterAdd("robust.respawns", r.respawns);
+    m.counterAdd("robust.failed", r.failed);
+    m.counterAdd("robust.pool_waits", r.poolWaits);
+    for (unsigned i = 0; i < core::kNumExitReasons; ++i)
+        m.counterAdd(std::string("robust.exit.") +
+                         core::toString(static_cast<core::ExitReason>(i)),
+                     r.exitsByReason[i]);
+
+    obs::Histogram &h = m.histogram("serve.latency_ns");
+    for (double s : latencies_.values())
+        h.observe(static_cast<std::uint64_t>(s));
 }
 
 void
@@ -249,6 +307,8 @@ Worker::acquireInstance(double wall_ns, double *wait_ns)
         if (s) {
             ++stats_.instancesCreated;
             ++stats_.robustness.respawns;
+            HFI_OBS_RECORD(trace_, obs::EventType::Respawn, wall_ns,
+                           stats_.robustness.respawns);
             pool_.push_back(std::move(s));
         }
     }
@@ -263,6 +323,8 @@ Worker::acquireInstance(double wall_ns, double *wait_ns)
         if (s) {
             ++stats_.instancesCreated;
             ++stats_.robustness.respawns;
+            HFI_OBS_RECORD(trace_, obs::EventType::Respawn, wall_ns,
+                           stats_.robustness.respawns);
             return s;
         }
     }
@@ -290,10 +352,15 @@ Worker::serve(const Request &req)
     double wall = begin;
 
     for (unsigned attempt = 0;; ++attempt) {
+        HFI_OBS_RECORD(trace_, obs::EventType::SandboxEnter, wall, req.id,
+                       attempt);
         const FaultKind kind =
             injector_ ? injector_->decide(req.id, attempt) : FaultKind::None;
-        if (kind != FaultKind::None)
+        if (kind != FaultKind::None) {
             ++stats_.robustness.faultsInjected;
+            HFI_OBS_RECORD(trace_, obs::EventType::FaultInject, wall, req.id,
+                           static_cast<std::uint64_t>(kind));
+        }
 
         const double service_start = clock_->nowNs();
         if (config_.dispatchViaScheduler && sched_)
@@ -317,8 +384,14 @@ Worker::serve(const Request &req)
             // scheme's own (region-locking) hfi_enter. Cold per-request
             // instances were created under the live bank and need
             // nothing.
-            if (config_.poolSize > 0)
+            if (config_.poolSize > 0) {
+                HFI_OBS_RECORD(trace_, obs::EventType::RegionRebind, wall,
+                               req.id);
                 sandbox->rebindRegions();
+            }
+            if (poolWait > 0)
+                HFI_OBS_RECORD(trace_, obs::EventType::PoolWait, wall,
+                               req.id);
         }
 
         AttemptOutcome at =
@@ -343,6 +416,15 @@ Worker::serve(const Request &req)
             at.timedOut = true;
 
         const double done = wall + poolWait + service;
+        HFI_OBS_RECORD(trace_, obs::EventType::SandboxExit, done, req.id,
+                       static_cast<std::uint64_t>(at.exitReason));
+        if (at.timedOut) {
+            HFI_OBS_RECORD(trace_, obs::EventType::WatchdogTimeout, done,
+                           req.id, attempt);
+            HFI_OBS_STMT(if (engineTrace_ &&
+                             engineTrace_->config().flightOnWatchdog)
+                             engineTrace_->flightDump("watchdog-timeout"));
+        }
 
         // Post-response work — recycling or quarantining the instance
         // and switching back to the server process — delays the *next*
@@ -356,6 +438,8 @@ Worker::serve(const Request &req)
                     // joins the batched-madvise path) and schedule a
                     // background respawn for its slot.
                     ++stats_.robustness.quarantines;
+                    HFI_OBS_RECORD(trace_, obs::EventType::Quarantine, done,
+                                   req.id);
                     respawns_.push_back(done + config_.respawnDelayNs);
                     retire(std::move(instance));
                 } else {
@@ -365,8 +449,11 @@ Worker::serve(const Request &req)
                     pool_.push_back(std::move(instance));
                 }
             } else {
-                if (at.poisoned)
+                if (at.poisoned) {
                     ++stats_.robustness.quarantines;
+                    HFI_OBS_RECORD(trace_, obs::EventType::Quarantine, done,
+                                   req.id);
+                }
                 retire(std::move(instance));
             }
         }
@@ -416,6 +503,8 @@ Worker::serve(const Request &req)
         // idle for the gap (arithmetic time, like queueing delay).
         wall = done + post +
                config_.retryBackoffNs * static_cast<double>(1ULL << attempt);
+        HFI_OBS_RECORD(trace_, obs::EventType::Retry, wall, req.id,
+                       attempt + 1);
     }
 }
 

@@ -35,6 +35,8 @@
 
 #include "core/context.h"
 #include "faas/latency.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/scheduler.h"
 #include "serve/faults.h"
 #include "serve/request.h"
@@ -155,6 +157,24 @@ class Worker
     const WorkerStats &stats() const { return stats_; }
     const faas::LatencyRecorder &latencies() const { return latencies_; }
     core::HfiContext &context() { return *ctx_; }
+
+    /** This worker's (global) core index. */
+    unsigned index() const { return index_; }
+
+    /**
+     * Attach the engine-wide trace: this worker records into its core's
+     * ring (serve() request envelope, robustness transitions) and wires
+     * the same ring into its HfiContext and Scheduler. The Trace handle
+     * is kept so a watchdog timeout can fire the flight recorder.
+     */
+    void attachTrace(obs::Trace *trace);
+
+    /**
+     * Export this worker's counters into @p m — the typed end-of-run
+     * path the engine merges instead of summing WorkerStats fields by
+     * hand. Hot-path accounting stays plain struct increments.
+     */
+    void exportMetrics(obs::MetricsRegistry &m) const;
     std::uint64_t
     contextSwitches() const
     {
@@ -222,6 +242,10 @@ class Worker
     double freeNs_ = 0;
     WorkerStats stats_;
     faas::LatencyRecorder latencies_;
+
+    /** Engine trace (flight recorder) and this core's ring. */
+    obs::Trace *engineTrace_ = nullptr;
+    obs::TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace hfi::serve

@@ -641,24 +641,38 @@ Pipeline::quietCycle()
 }
 
 std::uint64_t
-Pipeline::nextEventCycle() const
+Pipeline::nextEventCycle(unsigned *source_out) const
 {
     // In a quiet cycle, dispatch is blocked on ROB-side resources
     // (serialize drain, full ROB/LQ/SQ) and fetch on the stall timer or
     // a full decode queue — every unblocking transition is driven by a
     // commit or a resolution, so the ROB events plus the stall expiry
-    // cover all wake-ups.
+    // cover all wake-ups. Attribution (which source won the min, ties
+    // to the earliest-checked) falls out of the same comparison chain
+    // and feeds the per-kernel cycle-breakdown profile.
     std::uint64_t next = UINT64_MAX;
+    unsigned source = 3;
     if (robCount_ != 0) {
         const RobEntry &front = robAt(0);
-        if (front.resolved)
-            next = std::min(next, front.completeCycle + 1); // commit-eligible
-        for (std::size_t i = 0; i < robCount_; ++i)
-            next = std::min(next, resolveAt_[robSlot(i)]); // next resolution
+        if (front.resolved) {
+            next = front.completeCycle + 1; // commit-eligible
+            source = 0;
+        }
+        for (std::size_t i = 0; i < robCount_; ++i) {
+            const std::uint64_t at = resolveAt_[robSlot(i)];
+            if (at < next) { // next resolution
+                next = at;
+                source = 1;
+            }
+        }
     }
     if (!fetchHalted && fetchStallUntil > cycle &&
-        decodeCount_ < config_.decodeQueueDepth)
-        next = std::min(next, fetchStallUntil);
+        decodeCount_ < config_.decodeQueueDepth && fetchStallUntil < next) {
+        next = fetchStallUntil;
+        source = 2;
+    }
+    if (source_out)
+        *source_out = source;
     return next;
 }
 
@@ -672,12 +686,14 @@ Pipeline::runLoop(std::uint64_t max_cycles)
     fetchHalted = false;
     fetchStallUntil = 0;
     fetchCheckDirty_ = true;
+    HFI_OBS_STMT(profile_ = PipelineProfile{});
 
     bool done = false;
     while (!done && cycle < max_cycles) {
         if constexpr (EventDriven) {
             if (quietCycle()) {
-                const std::uint64_t next = nextEventCycle();
+                unsigned source = 3;
+                const std::uint64_t next = nextEventCycle(&source);
                 if (next == UINT64_MAX) {
                     // Frozen machine (fetch halted, nothing in flight):
                     // the reference loop ticks exactly once more, then
@@ -688,10 +704,17 @@ Pipeline::runLoop(std::uint64_t max_cycles)
                 // Every skipped cycle is a proven no-op for all four
                 // stages; land exactly on the next active one (clamped
                 // so a distant event still honours max_cycles).
-                cycle = std::min(next, max_cycles);
+                const std::uint64_t landing = std::min(next, max_cycles);
+                HFI_OBS_STMT(profile_.skippedCycles += landing - cycle;
+                             profile_.skipsToCommit += source == 0;
+                             profile_.skipsToResolve += source == 1;
+                             profile_.skipsToFetch += source == 2);
+                cycle = landing;
                 continue;
             }
         }
+        if constexpr (EventDriven)
+            HFI_OBS_STMT(++profile_.activeCycles);
         commitStage(result, &done);
         if (done)
             break;

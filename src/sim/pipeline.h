@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs_gate.h"
 #include "sim/branch_predictor.h"
 #include "sim/cache.h"
 #include "sim/cpu_config.h"
@@ -62,6 +63,24 @@ struct PipelineResult
     bool faulted = false;
     core::ExitReason faultReason = core::ExitReason::None;
     std::uint64_t faultPc = 0;
+};
+
+/**
+ * Cycle-breakdown profile of the event-driven loop: how many cycles ran
+ * the stage functions versus were proven quiet and skipped, and which
+ * wake-up source each skip landed on. The event-driven core computes
+ * the attribution anyway (the min over commit-eligibility, the next
+ * resolution, and the fetch-stall expiry); this records instead of
+ * discarding it. Counters only — modeled cycles are untouched, and the
+ * whole thing compiles away under HFI_OBS=OFF.
+ */
+struct PipelineProfile
+{
+    std::uint64_t activeCycles = 0;  ///< cycles the stage loop executed
+    std::uint64_t skippedCycles = 0; ///< quiet cycles jumped over
+    std::uint64_t skipsToCommit = 0; ///< skips woken by a commit-eligible ROB front
+    std::uint64_t skipsToResolve = 0; ///< skips woken by the next resolution
+    std::uint64_t skipsToFetch = 0;   ///< skips woken by fetch-stall expiry
 };
 
 /** Microarchitectural event counters. */
@@ -109,6 +128,10 @@ class Pipeline
     BranchPredictor &predictor() { return predictor_; }
     const PipelineStats &stats() const { return stats_; }
     const CpuConfig &config() const { return config_; }
+
+    /** Cycle breakdown of the last run() (all zero under HFI_OBS=OFF
+        or after runReference(), which has no skips to attribute). */
+    const PipelineProfile &profile() const { return profile_; }
 
   private:
     struct StoreEntry
@@ -218,8 +241,11 @@ class Pipeline
     bool quietCycle();
 
     /** Next cycle at which some stage becomes able to act, UINT64_MAX
-     *  when the machine is permanently idle. Valid only when quiet. */
-    std::uint64_t nextEventCycle() const;
+     *  when the machine is permanently idle. Valid only when quiet.
+     *  @p source_out (may be null) receives which wake-up source won
+     *  the min: 0 commit-eligible front, 1 next resolution, 2 fetch-
+     *  stall expiry, 3 none (frozen machine). */
+    std::uint64_t nextEventCycle(unsigned *source_out = nullptr) const;
 
     /** Would dispatching @p inst under @p state serialize? */
     bool willSerialize(const Inst &inst) const;
@@ -369,6 +395,7 @@ class Pipeline
     std::uint64_t serializeSeq = 0;
 
     PipelineStats stats_;
+    PipelineProfile profile_;
 };
 
 } // namespace hfi::sim

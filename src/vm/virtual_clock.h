@@ -31,7 +31,8 @@ class VirtualClock
   public:
     /** Construct a clock at cycle zero with the given frequency in MHz. */
     explicit VirtualClock(std::uint64_t freq_mhz = 3300)
-        : freqMhz(freq_mhz)
+        : freqMhz(freq_mhz),
+          nsPerCycle_(1000.0 / static_cast<double>(freq_mhz))
     {
     }
 
@@ -43,6 +44,20 @@ class VirtualClock
 
     /** Current virtual time in nanoseconds. */
     double nowNs() const { return cyclesToNs(now_); }
+
+    /**
+     * nowNs() through a cached reciprocal: one multiply instead of a
+     * divide. May differ from nowNs() in the last ulp (two roundings
+     * instead of one), but is the same pure function of the cycle
+     * count on every run and host — trace timestamps use this so that
+     * recording an event never pays a floating-point divide. Not for
+     * values that feed modeled results; those stay on nowNs().
+     */
+    double
+    nowNsFast() const
+    {
+        return static_cast<double>(now_) * nsPerCycle_;
+    }
 
     /** Current virtual time in microseconds. */
     double nowUs() const { return nowNs() / 1e3; }
@@ -77,6 +92,7 @@ class VirtualClock
 
   private:
     std::uint64_t freqMhz;
+    double nsPerCycle_;
     Cycles now_ = 0;
 };
 

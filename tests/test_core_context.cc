@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checker.h"
 #include "core/context.h"
 
 namespace
@@ -331,7 +332,7 @@ TEST_F(ContextTest, StatsCountLifecycle)
 TEST(ExitReasonNames, AllDistinctAndNamed)
 {
     for (int i = 0; i <= static_cast<int>(ExitReason::IllegalXrstor); ++i) {
-        const char *name = exitReasonName(static_cast<ExitReason>(i));
+        const char *name = toString(static_cast<ExitReason>(i));
         EXPECT_STRNE(name, "unknown");
     }
 }

@@ -270,9 +270,10 @@ TEST(GoldenResults, Fig7SpectreProbeLatencies)
         EXPECT_TRUE(open_run.secretLeaked);
         EXPECT_EQ(open_run.probeLatency[secret], 4u); // dcache hit
         for (unsigned g = 0; g < 256; ++g) {
-            if (g != secret)
+            if (g != secret) {
                 EXPECT_GE(open_run.probeLatency[g], open_run.threshold)
                     << "guess " << g;
+            }
         }
 
         const auto hfi_run = spectre::runAttack(variant, true, secret);
